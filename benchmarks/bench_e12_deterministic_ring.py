@@ -1,0 +1,63 @@
+"""E12 — the conclusion's open problem, on its solved special case.
+
+Paper (Section 5): "can maximal matching and independent set be
+computed *deterministically* in O(log n) time on general graphs?"  On
+rings the answer has long been deterministic O(log* n) via
+Cole–Vishkin color reduction; this bench measures our implementation's
+round counts over 3 orders of magnitude of n — the flattest curve in
+the repository — next to randomized Israeli–Itai on the same rings.
+"""
+
+from repro.analysis import format_table, print_banner
+from repro.baselines import israeli_itai_matching, ring_maximal_matching
+from repro.baselines.cole_vishkin import ring_coloring
+from repro.graphs import cycle_graph
+
+from conftest import once
+
+NS = (16, 128, 1024, 4096)
+
+
+def run_e12():
+    rows = []
+    for n in NS:
+        g = cycle_graph(n)
+        colors, cres = ring_coloring(g)
+        m, mres = ring_maximal_matching(g)
+        ii, ires = israeli_itai_matching(g, seed=n)
+        rows.append(
+            [
+                n,
+                cres.rounds,
+                mres.rounds,
+                len(m),
+                ires.rounds,
+                len(ii),
+            ]
+        )
+    return rows
+
+
+def test_deterministic_ring(benchmark, report):
+    rows = once(benchmark, run_e12)
+
+    def show():
+        print_banner(
+            "E12 — deterministic O(log* n) symmetry breaking on rings "
+            "(Section 5's open-problem context)",
+            "Cole–Vishkin: rounds essentially flat in n; randomized "
+            "Israeli–Itai needs Θ(log n) on the same rings",
+        )
+        print(format_table(
+            ["n", "CV color rounds", "CV matching rounds", "|M| (CV)",
+             "II rounds", "|M| (II)"], rows
+        ))
+
+    report(show)
+    # log* flatness: 256x more vertices cost at most a few extra rounds.
+    assert rows[-1][1] <= rows[0][1] + 4
+    assert rows[-1][2] <= rows[0][2] + 4
+    # both produce maximal matchings on a cycle: size in [n/3, n/2]
+    for n, _c, _mr, size_cv, _ir, size_ii in rows:
+        assert n // 3 <= size_cv <= n // 2
+        assert n // 3 <= size_ii <= n // 2

@@ -1,0 +1,75 @@
+"""E1 — Theorem 3.1: the generic (1−ε)-MCM (Algorithms 1 & 2).
+
+Claims measured:
+* ratio |M|/|M*| ≥ 1 − 1/(k+1) on every seed;
+* rounds (simulated flooding + charged MIS emulation) grow as
+  Θ(log n) for fixed k;
+* messages are "linear size" — max bits tracked against O(|V|+|E|).
+"""
+
+from repro.analysis import format_table, log_fit, print_banner
+from repro.core import generic_mcm
+from repro.graphs import bipartite_random, gnp_random
+from repro.matching import maximum_matching_size
+
+from conftest import once
+
+SEEDS = range(3)
+
+
+def run_e1():
+    rows = []
+    # quality sweep: two families, k = 1, 2, 3
+    for fam, maker in [
+        ("gnp", lambda s: gnp_random(40, 0.08, seed=s)),
+        ("bip", lambda s: bipartite_random(20, 20, 0.15, seed=s)[0]),
+    ]:
+        for k in (1, 2, 3):
+            worst = 1.0
+            rounds = 0
+            bits = 0
+            for s in SEEDS:
+                g = maker(s)
+                m, stats = generic_mcm(g, k=k, seed=s)
+                opt = maximum_matching_size(g)
+                if opt:
+                    worst = min(worst, len(m) / opt)
+                rounds = max(rounds, stats.result.total_rounds)
+                bits = max(bits, stats.result.max_message_bits)
+            rows.append([fam, k, 1 - 1 / (k + 1), worst, rounds, bits])
+    # scaling sweep at k = 2
+    ns, rs = [], []
+    for n in (20, 40, 80, 160):
+        g = gnp_random(n, 4.0 / n, seed=n)
+        _, stats = generic_mcm(g, k=2, seed=n)
+        ns.append(n)
+        rs.append(stats.result.total_rounds)
+    fit = log_fit(ns, rs)
+    return rows, (ns, rs, fit)
+
+
+def test_generic_mcm(benchmark, report):
+    rows, (ns, rs, fit) = once(benchmark, run_e1)
+
+    def show():
+        print_banner(
+            "E1 / Theorem 3.1 — generic (1−ε)-MCM, O(ε⁻³ log n) time, "
+            "O(|V|+|E|)-bit messages",
+            "|M| ≥ (1 − 1/(k+1))·|M*| after phases ℓ=1..2k−1",
+        )
+        print(format_table(
+            ["family", "k", "guarantee", "worst ratio", "max rounds",
+             "max msg bits"], rows
+        ))
+        print(f"\nscaling (k=2): n={ns} -> rounds={rs}")
+        print(f"log fit: rounds ≈ {fit['a']:.1f}·log2(n) + {fit['b']:.1f} "
+              f"(R² = {fit['r2']:.3f}; near-constant rounds give low R² — "
+              "the claim is only the absence of polynomial growth)")
+
+    report(show)
+    for _fam, k, guarantee, worst, *_ in rows:
+        assert worst >= guarantee - 1e-9
+    # O(log n) claim: 8x the vertices must not cost anywhere near 8x
+    # the rounds (the phase structure is n-independent; only the MIS
+    # emulation grows, logarithmically).
+    assert rs[-1] < 0.7 * rs[0] * (ns[-1] / ns[0])

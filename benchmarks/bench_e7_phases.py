@@ -1,0 +1,66 @@
+"""E7 — Lemmas 3.4/3.5: the Hopcroft–Karp phase structure.
+
+Claims measured, per phase ℓ = 1, 3, 5 of the bipartite algorithm:
+* after phase ℓ, the shortest augmenting path exceeds ℓ (Lemma 3.4 +
+  maximality of the applied set);
+* the matching size then satisfies |M| ≥ (1 − 1/(k+1))·|M*| for
+  ℓ = 2k−1 (Lemma 3.5).
+"""
+
+from repro.analysis import format_table, print_banner
+from repro.core import aug_bipartite
+from repro.graphs import bipartite_random
+from repro.matching import (
+    Matching,
+    hopcroft_karp,
+    shortest_augmenting_path_length,
+)
+
+from conftest import once
+
+SEEDS = range(4)
+
+
+def run_e7():
+    rows = []
+    for s in SEEDS:
+        g, xs, _ = bipartite_random(30, 30, 0.1, seed=s)
+        xside = [v < 30 for v in range(g.n)]
+        opt = len(hopcroft_karp(g, xs))
+        mates = [-1] * g.n
+        for ell in (1, 3, 5):
+            mates, _, _ = aug_bipartite(g, xside, mates, ell, seed=50 + s)
+            m = Matching(g, [(v, mates[v]) for v in range(g.n) if v < mates[v]])
+            shortest = shortest_augmenting_path_length(g, m)
+            k = (ell + 1) // 2
+            rows.append(
+                [
+                    s,
+                    ell,
+                    "none" if shortest is None else shortest,
+                    len(m),
+                    (1 - 1 / (k + 1)) * opt,
+                    opt,
+                ]
+            )
+    return rows
+
+
+def test_phase_structure(benchmark, report):
+    rows = once(benchmark, run_e7)
+
+    def show():
+        print_banner(
+            "E7 / Lemmas 3.4–3.5 — phase invariants of the HK structure",
+            "after phase ℓ: shortest augmenting path > ℓ and "
+            "|M| ≥ (1−1/(k+1))·|M*| for ℓ=2k−1",
+        )
+        print(format_table(
+            ["seed", "phase ℓ", "shortest aug path after", "|M|",
+             "bound (1−1/(k+1))·|M*|", "|M*|"], rows
+        ))
+
+    report(show)
+    for _s, ell, shortest, size, bound, _opt in rows:
+        assert shortest == "none" or shortest > ell
+        assert size >= bound - 1e-9

@@ -1,0 +1,100 @@
+"""E9 — the Θ(log n) time claims, as growth curves.
+
+For each CONGEST algorithm (Thm 3.8 bipartite, Thm 3.11 general,
+Thm 4.5 weighted, plus the II and Luby baselines) we sweep n over
+doublings at constant average degree, fit rounds ≈ a·log₂ n + b, and
+report the doubling increments.  Shape: increments roughly constant
+(log growth), R² of the log fit high, and no doubling of rounds when n
+doubles.
+"""
+
+from repro.analysis import doubling_ratios, format_table, log_fit, print_banner
+from repro.baselines import israeli_itai_matching, luby_mis
+from repro.core import bipartite_mcm, general_mcm, weighted_mwm
+from repro.graphs import bipartite_random, gnp_random
+from repro.graphs.weights import assign_uniform_weights
+
+from conftest import once
+
+
+def run_e9():
+    out = []
+
+    def sweep(name, ns, runner):
+        rs = [runner(n) for n in ns]
+        fit = log_fit(ns, rs)
+        out.append((name, ns, rs, fit, doubling_ratios(ns, rs)))
+
+    sweep(
+        "Israeli-Itai",
+        [64, 128, 256, 512],
+        lambda n: israeli_itai_matching(
+            gnp_random(n, 8.0 / n, seed=n), seed=n
+        )[1].rounds,
+    )
+    sweep(
+        "Luby MIS",
+        [64, 128, 256, 512],
+        lambda n: luby_mis(gnp_random(n, 8.0 / n, seed=n), seed=n)[1].rounds,
+    )
+    sweep(
+        "bipartite k=3 (Thm 3.8)",
+        [32, 64, 128, 256],
+        lambda n: bipartite_mcm(
+            *_bip(n), seed=n
+        )[1].rounds,
+    )
+    sweep(
+        "general k=3 (Thm 3.11)",
+        [24, 48, 96],
+        lambda n: general_mcm(gnp_random(n, 5.0 / n, seed=n), k=3, seed=n)[1].rounds,
+    )
+    sweep(
+        "weighted eps=.2 (Thm 4.5)",
+        [24, 48, 96],
+        lambda n: weighted_mwm(
+            assign_uniform_weights(gnp_random(n, 6.0 / n, seed=n), seed=n),
+            eps=0.2,
+            seed=n,
+        )[1].rounds,
+    )
+    return out
+
+
+def _bip(n):
+    g, xs, _ = bipartite_random(n, n, 5.0 / n, seed=n)
+    return g, 3, xs
+
+
+def test_round_scaling(benchmark, report):
+    out = once(benchmark, run_e9)
+
+    def show():
+        print_banner(
+            "E9 — Θ(log n) round growth of the CONGEST algorithms",
+            "doubling n adds ~constant rounds (O(log n) time, Thms "
+            "3.8/3.11/4.5 and the [15]/[20] baselines)",
+        )
+        rows = []
+        for name, ns, rs, fit, dbl in out:
+            rows.append(
+                [
+                    name,
+                    " ".join(map(str, ns)),
+                    " ".join(map(str, rs)),
+                    fit["a"],
+                    fit["r2"],
+                ]
+            )
+        print(format_table(
+            ["algorithm", "n sweep", "rounds", "log2 slope", "R²"], rows,
+        ))
+        print("\n(doubling increments should be ~flat for log growth; "
+              "randomized adaptive stopping adds noise)")
+
+    report(show)
+    for name, ns, rs, fit, _dbl in out:
+        # No linear blow-up: rounds at the largest n are far below
+        # (n_max / n_min) * rounds at the smallest n.
+        linear_extrapolation = rs[0] * ns[-1] / ns[0]
+        assert rs[-1] < 0.7 * linear_extrapolation, (name, rs)

@@ -1,0 +1,48 @@
+"""F2 — Figure 2: the derived weight function and Lemma 4.1.
+
+Paper object: "Top: a matching M ... with weight 14 under w.  Middle: a
+matching M' with weight 10 under w_M.  Bottom: M'' = M ⊕ ⋃wrap(e),
+having weight w(M'') = 26 ≥ w(M) + w_M(M')."
+"""
+
+from repro.analysis import format_table, print_banner
+from repro.core import apply_wraps, derived_weights
+from repro.core.figures import figure2_instance
+
+from conftest import once
+
+
+def run_figure2():
+    g, m, mprime, expect = figure2_instance()
+    wm = derived_weights(g, m)
+    w_m = m.weight()
+    w_mp = sum(wm[g.edge_id(u, v)] for u, v in mprime)
+    m2 = apply_wraps(m, mprime)
+    return g, wm, (w_m, w_mp, m2.weight()), expect
+
+
+def test_figure2_weights(benchmark, report):
+    g, wm, got, expect = once(benchmark, run_figure2)
+
+    def show():
+        print_banner(
+            "F2 / Figure 2 — derived weights w_M and Lemma 4.1",
+            "w(M)=14, w_M(M')=10, w(M'')=26 ≥ 14+10 (strict: wraps "
+            "overlap at a removed M edge)",
+        )
+        rows = [
+            ["w(M)", expect[0], got[0]],
+            ["w_M(M')", expect[1], got[1]],
+            ["w(M'')", expect[2], got[2]],
+        ]
+        print(format_table(["quantity", "figure", "measured"], rows))
+        per_edge = [
+            [f"({u},{v})", g.weight(u, v), wm[g.edge_id(u, v)]]
+            for u, v in g.edges()
+        ]
+        print("\nper-edge derived weights:")
+        print(format_table(["edge", "w", "w_M"], per_edge))
+
+    report(show)
+    assert got == expect
+    assert got[2] >= got[0] + got[1]  # Lemma 4.1

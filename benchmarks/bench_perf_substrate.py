@@ -1,0 +1,51 @@
+"""PERF — raw substrate performance (true pytest-benchmark timings).
+
+Unlike the experiment benches (single-shot claim tables), these are
+conventional repeated-timing microbenchmarks of the hot paths a user
+pays for: the simulator's round loop, the exact oracles, and one
+protocol end to end.  Useful for tracking performance regressions of
+the substrate itself.
+"""
+
+from repro.baselines.israeli_itai import israeli_itai_matching
+from repro.core.bipartite_mcm import bipartite_mcm
+from repro.graphs import bipartite_random, gnp_random
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import (
+    greedy_mwm,
+    hopcroft_karp,
+    hungarian_mwm,
+    maximum_matching_blossom,
+)
+
+
+def test_perf_simulator_round_loop(benchmark):
+    """Israeli–Itai on 300 vertices: round-loop + delivery throughput."""
+    g = gnp_random(300, 0.02, seed=1)
+    benchmark(lambda: israeli_itai_matching(g, seed=1))
+
+
+def test_perf_hopcroft_karp(benchmark):
+    g, xs, _ = bipartite_random(400, 400, 0.01, seed=2)
+    benchmark(lambda: hopcroft_karp(g, xs))
+
+
+def test_perf_blossom(benchmark):
+    g = gnp_random(150, 0.05, seed=3)
+    benchmark(lambda: maximum_matching_blossom(g))
+
+
+def test_perf_hungarian(benchmark):
+    g, xs, _ = bipartite_random(60, 60, 0.3, seed=4)
+    g = assign_uniform_weights(g, seed=4)
+    benchmark(lambda: hungarian_mwm(g, xs))
+
+
+def test_perf_greedy_mwm(benchmark):
+    g = assign_uniform_weights(gnp_random(500, 0.02, seed=5), seed=5)
+    benchmark(lambda: greedy_mwm(g))
+
+
+def test_perf_bipartite_mcm_end_to_end(benchmark):
+    g, xs, _ = bipartite_random(80, 80, 0.06, seed=6)
+    benchmark(lambda: bipartite_mcm(g, k=2, xs=xs, seed=6))

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a claim-vs-measured table *live* (bypassing
+pytest capture) so `pytest benchmarks/ --benchmark-only | tee ...`
+records the reproduction evidence alongside pytest-benchmark's timing
+table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """`report(fn)` runs fn with capture disabled (live printing)."""
+
+    def _run(fn, *args, **kwargs):
+        with capsys.disabled():
+            return fn(*args, **kwargs)
+
+    return _run
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

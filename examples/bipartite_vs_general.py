@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Theorem 3.8 vs Theorem 3.11 on the same bipartite inputs.
+
+The general-graph algorithm (random red/blue bipartitions) also works
+on bipartite graphs — but pays a 2^{2k}-ish sampling overhead for not
+knowing the bipartition.  This example quantifies that price: same
+graphs, same k, both algorithms, comparing quality and simulated
+rounds.  Also shows the generic LOCAL algorithm (Theorem 3.1) on a
+small instance with its O(|V|+|E|)-bit messages.
+"""
+
+from repro.analysis import format_table
+from repro.core import bipartite_mcm, general_mcm, generic_mcm
+from repro.graphs import bipartite_random
+from repro.matching import hopcroft_karp
+
+K = 3
+
+
+def main() -> None:
+    rows = []
+    for n_side, p in [(30, 0.12), (60, 0.07), (120, 0.035)]:
+        g, xs, _ = bipartite_random(n_side, n_side, p, seed=n_side)
+        opt = len(hopcroft_karp(g, xs))
+        mb, rb = bipartite_mcm(g, k=K, xs=xs, seed=1)
+        mg, rg, outer = general_mcm(g, k=K, seed=1)
+        rows.append(
+            [
+                f"{g.n}v/{g.m}e",
+                opt,
+                f"{len(mb)} ({len(mb)/opt:.2f})",
+                rb.rounds,
+                f"{len(mg)} ({len(mg)/opt:.2f})",
+                rg.rounds,
+                outer,
+            ]
+        )
+    print(f"k = {K} (guarantee {1-1/K:.2f}) — knowing the bipartition "
+          "(Thm 3.8) vs sampling it (Thm 3.11):\n")
+    print(
+        format_table(
+            [
+                "graph",
+                "|M*|",
+                "Thm3.8 |M|",
+                "rounds",
+                "Thm3.11 |M|",
+                "rounds",
+                "samples",
+            ],
+            rows,
+        )
+    )
+
+    # The generic LOCAL algorithm on a small instance.
+    g, xs, _ = bipartite_random(15, 15, 0.15, seed=9)
+    opt = len(hopcroft_karp(g, xs))
+    m, stats = generic_mcm(g, k=K, seed=9)
+    print(
+        f"\ngeneric LOCAL algorithm (Thm 3.1) on {g.n}v/{g.m}e: "
+        f"|M| = {len(m)}/{opt}, flooding rounds = {stats.result.rounds}, "
+        f"charged MIS rounds = {stats.result.charged_rounds}, "
+        f"max message = {stats.result.max_message_bits} bits "
+        f"(linear-size, as the theorem allows)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — reproduction of Lotker, Patt-Shamir & Pettie,
+"Improved Distributed Approximate Matching" (SPAA 2008).
+
+Public API quick map
+--------------------
+
+Graphs (:mod:`repro.graphs`)
+    ``Graph``, generators (``gnp_random``, ``bipartite_random``, ...),
+    weight assignment helpers.
+
+Distributed simulator (:mod:`repro.distributed`)
+    ``Network`` runs generator node programs in synchronous rounds and
+    measures rounds / message counts / message bits (LOCAL & CONGEST).
+
+The paper's algorithms (:mod:`repro.core`)
+    ``generic_mcm`` (Thm 3.1), ``bipartite_mcm`` (Thm 3.8),
+    ``general_mcm`` (Thm 3.11), ``weighted_mwm`` (Thm 4.5).
+
+Baselines (:mod:`repro.baselines`)
+    ``israeli_itai_matching``, ``luby_mis``, ``lps_mwm``,
+    ``hoepman_mwm``, PIM, iSLIP.
+
+Exact oracles (:mod:`repro.matching`)
+    ``hopcroft_karp``, ``maximum_matching_blossom``,
+    ``max_weight_matching``, greedy baselines, augmenting-path tools.
+
+Switch application (:mod:`repro.switch`)
+    Input-queued switch simulation comparing schedulers (the paper's
+    motivating example).
+
+Quickstart
+----------
+>>> from repro.graphs import bipartite_random
+>>> from repro.core import bipartite_mcm
+>>> from repro.matching import hopcroft_karp
+>>> g, xs, ys = bipartite_random(50, 50, 0.1, seed=1)
+>>> m, metrics = bipartite_mcm(g, k=3, xs=xs, seed=2)
+>>> len(m) >= (1 - 1/3) * len(hopcroft_karp(g))
+True
+"""
+
+from repro.graphs import Graph
+from repro.distributed import CONGEST, LOCAL, Network, RunResult
+from repro.matching import Matching
+from repro.core import (
+    bipartite_mcm,
+    general_mcm,
+    generic_mcm,
+    weighted_mwm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Matching",
+    "Network",
+    "RunResult",
+    "LOCAL",
+    "CONGEST",
+    "bipartite_mcm",
+    "general_mcm",
+    "generic_mcm",
+    "weighted_mwm",
+    "__version__",
+]

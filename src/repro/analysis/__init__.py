@@ -1,0 +1,27 @@
+"""Experiment harness: sweep running, statistics, table rendering.
+
+Shared by every benchmark in ``benchmarks/`` so the printed
+claim-vs-measured tables all look alike.
+"""
+
+from repro.analysis.runner import ExperimentResult, repeat, sweep
+from repro.analysis.stats import (
+    doubling_ratios,
+    log_fit,
+    mean_ci,
+    summarize,
+)
+from repro.analysis.tables import format_series, format_table, print_banner
+
+__all__ = [
+    "ExperimentResult",
+    "repeat",
+    "sweep",
+    "doubling_ratios",
+    "log_fit",
+    "mean_ci",
+    "summarize",
+    "format_series",
+    "format_table",
+    "print_banner",
+]

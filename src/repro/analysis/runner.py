@@ -1,0 +1,59 @@
+"""Seeded repetition and parameter sweeps for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment cell: a parameter point and its per-seed records."""
+
+    params: dict[str, Any]
+    records: list[dict[str, float]] = field(default_factory=list)
+
+    def column(self, key: str) -> list[float]:
+        """All per-seed values of a measured quantity."""
+        return [r[key] for r in self.records]
+
+    def mean(self, key: str) -> float:
+        """Mean of a measured quantity over seeds."""
+        col = self.column(key)
+        return sum(col) / len(col)
+
+    def min(self, key: str) -> float:
+        """Minimum over seeds (for 'holds on every seed' claims)."""
+        return min(self.column(key))
+
+    def max(self, key: str) -> float:
+        """Maximum over seeds."""
+        return max(self.column(key))
+
+
+def repeat(
+    fn: Callable[[int], dict[str, float]],
+    seeds: Iterable[int],
+    params: dict[str, Any] | None = None,
+) -> ExperimentResult:
+    """Run ``fn(seed)`` for each seed, collecting its measurement dicts."""
+    res = ExperimentResult(params or {})
+    for s in seeds:
+        res.records.append(fn(s))
+    return res
+
+
+def sweep(
+    fn: Callable[..., dict[str, float]],
+    points: Iterable[dict[str, Any]],
+    seeds: Iterable[int],
+) -> list[ExperimentResult]:
+    """Full sweep: for each parameter point, repeat over seeds.
+
+    ``fn`` is called as ``fn(seed=s, **point)``.
+    """
+    seeds = list(seeds)
+    out = []
+    for point in points:
+        out.append(repeat(lambda s, p=point: fn(seed=s, **p), seeds, dict(point)))
+    return out

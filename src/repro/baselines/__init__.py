@@ -1,0 +1,39 @@
+"""Prior-work algorithms implemented for comparison.
+
+The paper positions its results against these (Section 1, "a brief
+history of distributed matching"):
+
+* Israeli–Itai [15] — randomized maximal matching (½-MCM) in O(log n);
+* Luby [20] / Alon–Babai–Itai [1] — distributed MIS, the subroutine of
+  Algorithm 1;
+* Lotker–Patt-Shamir–Rosén [18] — (¼−ε)-MWM, the black box consumed by
+  Algorithm 5;
+* Hoepman [11] (after Preis [25]) — deterministic ½-MWM via locally
+  heaviest edges;
+* PIM [3] and iSLIP [23] — the switch schedulers descended from [15].
+"""
+
+from repro.baselines.israeli_itai import israeli_itai_matching, israeli_itai_program
+from repro.baselines.luby_mis import luby_mis, luby_mis_program
+from repro.baselines.lps_mwm import lps_mwm
+from repro.baselines.hoepman import hoepman_mwm, hoepman_program
+from repro.baselines.pim import pim_matching
+from repro.baselines.islip import IslipScheduler
+from repro.baselines.cole_vishkin import (
+    ring_coloring,
+    ring_maximal_matching,
+)
+
+__all__ = [
+    "ring_coloring",
+    "ring_maximal_matching",
+    "israeli_itai_matching",
+    "israeli_itai_program",
+    "luby_mis",
+    "luby_mis_program",
+    "lps_mwm",
+    "hoepman_mwm",
+    "hoepman_program",
+    "pim_matching",
+    "IslipScheduler",
+]

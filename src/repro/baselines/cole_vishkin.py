@@ -1,0 +1,161 @@
+"""Deterministic symmetry breaking on rings and rooted trees.
+
+The paper closes with the long-standing open question: *"can maximal
+matching and independent set be computed deterministically in O(log n)
+time on general graphs?"*  On rings and rooted trees the answer has
+long been yes — in O(log* n) — via Cole–Vishkin color reduction.  This
+module implements that special case as a node program, both for its
+own sake (a deterministic counterpoint to the randomized algorithms in
+this repository) and as the standard technique the open question is
+measured against.
+
+Pipeline:
+
+1. every node starts with its unique ID as a color (O(log n) bits);
+2. **Cole–Vishkin step**: a node looks at its predecessor's color
+   (ring) / parent's color (tree), finds the lowest bit position i
+   where the two colors differ, and re-colors itself ``2i + bit_i`` —
+   one step shrinks c-bit colors to ~(log₂ c + 1) bits, so O(log* n)
+   steps reach a constant palette (≤ 6 colors);
+3. **palette reduction 6 → 3**: for each color c ∈ {3, 4, 5} in turn,
+   nodes of color c recolor to the smallest color absent from their
+   neighborhood (a ring/tree neighborhood has ≤ 2 relevant neighbors
+   in the oriented sense, so 3 colors always suffice);
+4. **maximal matching from the coloring**: for each ordered color pair
+   processed sequentially, unmatched nodes of the smaller color
+   propose along their oriented edge; the (unique-color) endpoint
+   accepts if still free.  Constantly many color rounds ⟹ the whole
+   pipeline is deterministic O(log* n + C²) rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Node
+from repro.graphs.graph import Graph
+from repro.matching.matching import Matching
+from repro.baselines.israeli_itai import matching_from_mates
+
+_PALETTE = 6
+
+
+def _cv_step(my_color: int, other_color: int) -> int:
+    """One Cole–Vishkin re-coloring against the oriented neighbor."""
+    if my_color == other_color:
+        raise ValueError("proper coloring violated")
+    diff = my_color ^ other_color
+    i = (diff & -diff).bit_length() - 1
+    return 2 * i + ((my_color >> i) & 1)
+
+
+def cv_steps_needed(n: int) -> int:
+    """Enough CV iterations to reach the ≤6-color regime from n ids.
+
+    One step maps colors of b bits to values ≤ 2(b−1)+1, i.e. to
+    ``(2b−1).bit_length()`` bits; iterating from log₂ n reaches 3 bits
+    (colors < 8, whose CV image lies in {0..5}) in O(log* n) steps.
+    """
+    steps = 0
+    bits = max(2, n).bit_length()
+    while bits > 3:
+        bits = (2 * (bits - 1) + 1).bit_length()
+        steps += 1
+    return steps + 2  # land in {0..5} and stabilize
+
+
+def ring_color_program(
+    node: Node, n: int, steps: int
+) -> Generator[None, None, int]:
+    """3-color an oriented ring (successor = larger-id neighbor wrap).
+
+    The ring must be the cycle 0-1-…-(n-1)-0; the orientation is
+    "successor = (id+1) mod n", known locally from ids.
+    """
+    succ = (node.id + 1) % n
+    pred = (node.id - 1) % n
+    color = node.id
+    # Phase 1: CV reduction against the predecessor's color.
+    for _ in range(steps):
+        node.send(succ, color)
+        yield
+        pred_color = next(p for s, p in node.inbox if s == pred)
+        color = _cv_step(color, pred_color)
+    # Phase 2: shrink palette {0..5} -> {0,1,2}; colors 3,4,5 in turn.
+    for c in (3, 4, 5):
+        node.send(succ, color)
+        node.send(pred, color)
+        yield
+        nbr_colors = {p for _s, p in node.inbox}
+        if color == c:
+            color = min({0, 1, 2} - nbr_colors)
+    node.finish(color)
+    return color
+
+
+def ring_coloring(g: Graph, max_rounds: int = 10_000) -> tuple[dict[int, int], RunResult]:
+    """Deterministic 3-coloring of the canonical ring 0-1-…-(n-1)-0."""
+    n = g.n
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    for v in range(n):
+        if sorted(g.neighbors(v)) != sorted({(v - 1) % n, (v + 1) % n}):
+            raise ValueError("graph is not the canonical ring")
+    net = Network(
+        g,
+        ring_color_program,
+        params={"n": n, "steps": cv_steps_needed(n)},
+    )
+    res = net.run(max_rounds=max_rounds)
+    return dict(res.outputs), res
+
+
+def ring_matching_program(
+    node: Node, n: int, steps: int
+) -> Generator[None, None, int]:
+    """Deterministic maximal matching on the canonical ring.
+
+    After 3-coloring, process color classes c = 0, 1, 2 sequentially:
+    a free node of color c proposes to its successor; a free successor
+    accepts (it can receive at most one proposal — only its
+    predecessor proposes toward it, and adjacent nodes never share a
+    color).  Maximality: a free node u with free successor v would
+    have proposed in u's color pass and v, being free throughout,
+    would have accepted — contradiction, so no two adjacent free nodes
+    survive the three passes.
+    """
+    succ = (node.id + 1) % n
+    pred = (node.id - 1) % n
+    color = yield from ring_color_program(node, n, steps)
+    mate = -1
+    for c in (0, 1, 2):
+        if mate == -1 and color == c:
+            node.send(succ, "p")
+        yield
+        if mate == -1 and any(s == pred and p == "p" for s, p in node.inbox):
+            mate = pred
+            node.send(pred, "a")
+        yield
+        if mate == -1 and color == c:
+            if any(s == succ and p == "a" for s, p in node.inbox):
+                mate = succ
+        yield  # keep the pass at a fixed 3 rounds (lockstep clarity)
+    node.finish(mate)
+    return mate
+
+
+def ring_maximal_matching(
+    g: Graph, max_rounds: int = 10_000
+) -> tuple[Matching, RunResult]:
+    """Deterministic maximal matching on the canonical ring, O(log* n)."""
+    n = g.n
+    if n < 3:
+        raise ValueError("ring needs n >= 3")
+    net = Network(
+        g,
+        ring_matching_program,
+        params={"n": n, "steps": cv_steps_needed(n)},
+    )
+    res = net.run(max_rounds=max_rounds)
+    return matching_from_mates(g, res.outputs), res

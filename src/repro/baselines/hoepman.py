@@ -1,0 +1,64 @@
+"""Hoepman's deterministic ½-MWM via locally heaviest edges.
+
+Reference [11] of the paper (after Preis [25]): each node requests its
+heaviest remaining incident edge; an edge whose two endpoints request
+each other is *locally dominant* and enters the matching.  The global
+heaviest residual edge is always locally dominant, so the algorithm
+terminates (worst case O(n) phases — the paper cites Hoepman's O(n)
+bound), and the result is a ½-MWM.
+
+Ties are broken by the sorted endpoint pair, so both endpoints rank
+their shared edge identically and the algorithm is fully deterministic.
+
+Used as the deterministic weighted baseline in the E5 comparison table.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Node
+from repro.graphs.graph import Graph
+from repro.matching.matching import Matching
+from repro.baselines.israeli_itai import matching_from_mates
+
+_REQ = "r"
+_MATCHED = "m"
+
+
+def hoepman_program(node: Node) -> Generator[None, None, int]:
+    """Node program; returns the node's mate id, or -1."""
+
+    def edge_key(u: int) -> tuple[float, int, int]:
+        a, b = (node.id, u) if node.id < u else (u, node.id)
+        return (node.edge_weight(u), a, b)
+
+    active = set(node.neighbors)
+    mate = -1
+    while True:
+        if mate != -1 or not active:
+            node.finish(mate)
+            return mate
+        candidate = max(active, key=edge_key)
+        node.send(candidate, _REQ)
+        yield
+        requests = {src for src, tag in node.inbox if tag == _REQ}
+        if candidate in requests:
+            mate = candidate
+            node.broadcast(_MATCHED)
+        yield
+        for src, tag in node.inbox:
+            if tag == _MATCHED:
+                active.discard(src)
+
+
+def hoepman_mwm(
+    g: Graph, max_rounds: int = 1_000_000
+) -> tuple[Matching, RunResult]:
+    """Run the locally-heaviest-edge algorithm; returns (matching, metrics)."""
+    if not g.weighted:
+        raise ValueError("hoepman_mwm needs a weighted graph")
+    net = Network(g, hoepman_program)
+    res = net.run(max_rounds=max_rounds)
+    return matching_from_mates(g, res.outputs), res

@@ -1,0 +1,79 @@
+"""iSLIP — round-robin iterative matching (McKeown [23]).
+
+"The algorithm of choice in many of today's routers" per the paper's
+introduction.  Like PIM but grants and accepts use round-robin
+pointers instead of coins, which desynchronizes the port pointers under
+load and drives throughput toward 100% for uniform traffic:
+
+1. **request** — unmatched inputs request all backlogged outputs;
+2. **grant** — each unmatched output grants the requesting input
+   closest (cyclically) to its grant pointer;
+3. **accept** — each input accepts the granting output closest to its
+   accept pointer; *only on the first iteration* of a slot do the
+   winning pointers advance (one past the accepted port), which is the
+   key de-synchronization rule of iSLIP.
+
+Stateful across cell slots, hence a class.
+"""
+
+from __future__ import annotations
+
+
+class IslipScheduler:
+    """iSLIP scheduler state for an N×N switch."""
+
+    def __init__(self, num_inputs: int, num_outputs: int, iterations: int = 4):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.iterations = iterations
+        self.grant_ptr = [0] * num_outputs  # per output
+        self.accept_ptr = [0] * num_inputs  # per input
+
+    @staticmethod
+    def _rr_pick(candidates: list[int], ptr: int, modulo: int) -> int:
+        """Candidate closest to ``ptr`` going cyclically upward."""
+        return min(candidates, key=lambda c: (c - ptr) % modulo)
+
+    def schedule(self, demand: list[set[int]]) -> list[tuple[int, int]]:
+        """One cell-slot schedule; ``demand[i]`` = backlogged outputs of input i.
+
+        Returns matched ``(input, output)`` pairs.
+        """
+        if len(demand) != self.num_inputs:
+            raise ValueError(
+                f"demand for {len(demand)} inputs, expected {self.num_inputs}"
+            )
+        in_free = [True] * self.num_inputs
+        out_free = [True] * self.num_outputs
+        matches: list[tuple[int, int]] = []
+        for it in range(self.iterations):
+            requests: list[list[int]] = [[] for _ in range(self.num_outputs)]
+            for i in range(self.num_inputs):
+                if in_free[i]:
+                    for j in demand[i]:
+                        if out_free[j]:
+                            requests[j].append(i)
+            grants: list[list[int]] = [[] for _ in range(self.num_inputs)]
+            granted_by: dict[int, int] = {}
+            any_grant = False
+            for j in range(self.num_outputs):
+                if out_free[j] and requests[j]:
+                    i = self._rr_pick(requests[j], self.grant_ptr[j], self.num_inputs)
+                    grants[i].append(j)
+                    granted_by[j] = i
+                    any_grant = True
+            if not any_grant:
+                break
+            for i in range(self.num_inputs):
+                if in_free[i] and grants[i]:
+                    j = self._rr_pick(grants[i], self.accept_ptr[i], self.num_outputs)
+                    in_free[i] = False
+                    out_free[j] = False
+                    matches.append((i, j))
+                    if it == 0:
+                        # Pointers advance only for first-iteration wins.
+                        self.grant_ptr[j] = (i + 1) % self.num_inputs
+                        self.accept_ptr[i] = (j + 1) % self.num_outputs
+        return matches

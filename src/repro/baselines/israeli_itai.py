@@ -1,0 +1,100 @@
+"""Israeli–Itai randomized maximal matching — the classical ½-MCM.
+
+Reference [15]: "A fast and simple randomized parallel algorithm for
+maximal matching", IPL 1986.  The paper under reproduction cites it as
+*the* baseline its (1−ε)-MCM improves on, and notes PIM/iSLIP descend
+from it.
+
+We implement the standard proposal variant: each phase every unmatched
+node flips a coin to act as *proposer* or *acceptor* (this is
+Israeli–Itai's random edge-orientation step, which prevents a node from
+simultaneously proposing and accepting); proposers invite one random
+unmatched neighbor; acceptors accept one incoming invitation uniformly
+at random; matched nodes announce themselves so neighbors stop
+inviting them.  A constant fraction of incident-edge mass is removed
+per phase in expectation, giving O(log n) phases w.h.p.
+
+A phase costs 3 communication rounds (propose / accept / announce).
+Nodes terminate locally when matched or out of unmatched neighbors, so
+the network run ends exactly when the matching is maximal.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Node
+from repro.graphs.graph import Graph
+from repro.matching.matching import Matching
+
+# Protocol tags (single characters: O(1) bits per message + the tag).
+_PROPOSE = "p"
+_ACCEPT = "a"
+_MATCHED = "m"
+
+
+def israeli_itai_program(node: Node) -> Generator[None, None, int]:
+    """Node program; returns the node's mate id, or -1 if unmatched."""
+    active = set(node.neighbors)
+    mate = -1
+    while True:
+        if mate != -1 or not active:
+            node.finish(mate)
+            return mate
+        proposer = bool(node.rng.integers(0, 2))
+        target = -1
+        if proposer and active:
+            target = int(node.rng.choice(sorted(active)))
+            node.send(target, _PROPOSE)
+        yield
+        # Acceptors pick one proposal uniformly at random.
+        if not proposer:
+            proposals = sorted(src for src, tag in node.inbox if tag == _PROPOSE)
+            if proposals:
+                chosen = int(node.rng.choice(proposals))
+                mate = chosen
+                node.send(chosen, _ACCEPT)
+        yield
+        # Proposers learn whether their invitation was accepted.
+        if proposer and target != -1:
+            if any(src == target and tag == _ACCEPT for src, tag in node.inbox):
+                mate = target
+        if mate != -1:
+            node.broadcast(_MATCHED)
+        yield
+        for src, tag in node.inbox:
+            if tag == _MATCHED:
+                active.discard(src)
+
+
+def israeli_itai_matching(
+    g: Graph, seed: int = 0, max_rounds: int = 100_000
+) -> tuple[Matching, RunResult]:
+    """Run Israeli–Itai on ``g``; returns (maximal matching, run metrics)."""
+    net = Network(g, israeli_itai_program, seed=seed)
+    res = net.run(max_rounds=max_rounds)
+    return matching_from_mates(g, res.outputs), res
+
+
+def matching_from_mates(g: Graph, mates: dict[int, int]) -> Matching:
+    """Assemble a :class:`Matching` from per-node mate outputs.
+
+    Validates symmetry: ``mates[u] == v`` requires ``mates[v] == u`` —
+    a distributed matching algorithm whose two endpoints disagree is
+    broken, and we want tests to see that loudly.
+    """
+    m = Matching(g)
+    for v, mate in mates.items():
+        if mate is None or mate == -1:
+            continue
+        if mates.get(mate) != v:
+            raise ValueError(
+                f"asymmetric mates: node {v} claims {mate}, "
+                f"node {mate} claims {mates.get(mate)}"
+            )
+        if mate > v:
+            m.add(v, mate)
+    return m

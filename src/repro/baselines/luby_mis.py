@@ -1,0 +1,96 @@
+"""Luby's randomized maximal independent set (MIS).
+
+References [20] (Luby) and [1] (Alon–Babai–Itai) of the paper.  Section
+3.2 describes exactly this variant: "in each iteration each node ...
+chooses a random number, and it is added to the MIS iff its number is
+larger than all numbers chosen by its neighbors"; O(log N) iterations
+suffice w.h.p.
+
+Used in two places:
+
+* step 5 of Algorithm 1 — MIS on the conflict graph C_M(ℓ);
+* the A1 ablation bench, standalone.
+
+A phase costs 2 rounds (numbers / membership announcements).  Numbers
+are drawn from [1, N⁴] as in Section 3.2, so a message is O(log N)
+bits.  Nodes terminate locally once decided, and announce their
+decision so undecided neighbors can prune.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Node
+from repro.graphs.graph import Graph
+
+_IN_MIS = "i"
+_OUT = "o"
+
+
+def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
+    """Node program; returns True iff the node joined the MIS.
+
+    Each phase is exactly 3 rounds for every surviving node, so phases
+    of different nodes never drift: numbers / membership announcements /
+    withdrawal announcements, each read in its own round's inbox.
+    """
+    active = set(node.neighbors)
+    hi = max(2, n) ** 4
+    first = True
+    while True:
+        if not first:
+            # Withdrawals sent at the end of the previous phase arrive now.
+            for src, p in node.inbox:
+                if p == _OUT:
+                    active.discard(src)
+        first = False
+        # Isolated-in-the-residual-graph nodes join unconditionally.
+        if not active:
+            node.finish(True)
+            return True
+        number = int(node.rng.integers(1, hi + 1))
+        for u in active:
+            node.send(u, number)
+        yield  # round 1: numbers in flight
+        nbr_numbers = [
+            p for src, p in node.inbox if src in active and isinstance(p, int)
+        ]
+        winner = bool(nbr_numbers) and number > max(nbr_numbers)
+        if winner:
+            for u in active:
+                node.send(u, _IN_MIS)
+        yield  # round 2: membership announcements in flight
+        if winner:
+            node.finish(True)
+            return True
+        # Neighbors of fresh MIS members leave as non-members.
+        if any(p == _IN_MIS for _, p in node.inbox):
+            for u in active:
+                node.send(u, _OUT)
+            node.finish(False)
+            return False
+        yield  # round 3: withdrawals in flight
+
+
+def luby_mis(
+    g: Graph, seed: int = 0, max_rounds: int = 100_000
+) -> tuple[set[int], RunResult]:
+    """Run Luby's MIS on ``g``; returns (MIS vertex set, run metrics)."""
+    net = Network(g, luby_mis_program, params={"n": g.n}, seed=seed)
+    res = net.run(max_rounds=max_rounds)
+    return {v for v, joined in res.outputs.items() if joined}, res
+
+
+def verify_mis(g: Graph, mis: set[int]) -> bool:
+    """Check independence and maximality of ``mis`` in ``g``."""
+    for u, v in g.edges():
+        if u in mis and v in mis:
+            return False
+    for v in range(g.n):
+        if v not in mis and not any(u in mis for u in g.neighbors(v)):
+            return False
+    return True

@@ -1,0 +1,113 @@
+"""PIM — Parallel Iterative Matching (Anderson et al. [3]).
+
+The switch scheduler of DEC's AN2, directly descended from
+Israeli–Itai's algorithm (as the paper's introduction recounts).  Per
+cell slot it runs a few request/grant/accept iterations:
+
+1. **request** — every unmatched input requests all outputs for which
+   it has queued cells;
+2. **grant** — every unmatched output grants one request uniformly at
+   random;
+3. **accept** — every input that received grants accepts one uniformly
+   at random; the pair is matched for this slot.
+
+With ⌈log₂ N⌉ + O(1) iterations the expected leftover is negligible —
+PIM's classic analysis shows each iteration resolves ~3/4 of the
+remaining contention.
+
+This is a *centralized* implementation: PIM is switch hardware, not a
+message-passing network algorithm, and the switch simulator calls it
+once per cell slot.  (The distributed story for the same idea is
+:mod:`repro.baselines.israeli_itai`.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.matching.matching import Matching
+
+
+def pim_iterations_default(ports: int) -> int:
+    """The customary iteration count: ⌈log₂ N⌉ + 2."""
+    return max(1, math.ceil(math.log2(max(2, ports)))) + 2
+
+
+def pim_schedule(
+    demand: list[set[int]],
+    num_outputs: int,
+    rng: np.random.Generator,
+    iterations: int | None = None,
+) -> list[tuple[int, int]]:
+    """One PIM cell-slot schedule.
+
+    Parameters
+    ----------
+    demand:
+        ``demand[i]`` is the set of outputs input ``i`` has cells for.
+    num_outputs:
+        Number of output ports.
+    rng:
+        Randomness source (grants and accepts).
+    iterations:
+        Request/grant/accept iterations; default ⌈log₂ N⌉ + 2.
+
+    Returns
+    -------
+    list of matched ``(input, output)`` pairs.
+    """
+    num_inputs = len(demand)
+    if iterations is None:
+        iterations = pim_iterations_default(max(num_inputs, num_outputs))
+    in_free = [True] * num_inputs
+    out_free = [True] * num_outputs
+    matches: list[tuple[int, int]] = []
+    for _ in range(iterations):
+        # request
+        requests: list[list[int]] = [[] for _ in range(num_outputs)]
+        for i in range(num_inputs):
+            if in_free[i]:
+                for j in demand[i]:
+                    if out_free[j]:
+                        requests[j].append(i)
+        # grant
+        grants: list[list[int]] = [[] for _ in range(num_inputs)]
+        any_grant = False
+        for j in range(num_outputs):
+            if out_free[j] and requests[j]:
+                i = int(rng.choice(requests[j]))
+                grants[i].append(j)
+                any_grant = True
+        if not any_grant:
+            break
+        # accept
+        for i in range(num_inputs):
+            if in_free[i] and grants[i]:
+                j = int(rng.choice(grants[i]))
+                in_free[i] = False
+                out_free[j] = False
+                matches.append((i, j))
+    return matches
+
+
+def pim_matching(
+    g: Graph,
+    xs: list[int],
+    ys: list[int],
+    seed: int = 0,
+    iterations: int | None = None,
+) -> Matching:
+    """Run PIM on a bipartite :class:`Graph` (E5/E8 benchmark adapter)."""
+    y_index = {y: idx for idx, y in enumerate(ys)}
+    demand = [
+        {y_index[u] for u in g.neighbors(x) if u in y_index} for x in xs
+    ]
+    rng = np.random.default_rng(seed)
+    pairs = pim_schedule(demand, len(ys), rng, iterations)
+    m = Matching(g)
+    for i, j in pairs:
+        m.add(xs[i], ys[j])
+    return m

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Gives downstream users the paper's algorithms without writing Python:
+
+* ``python -m repro bipartite --n 100 --p 0.08 --k 3``   (Theorem 3.8)
+* ``python -m repro general   --n 60 --p 0.06 --k 3``    (Theorem 3.11)
+* ``python -m repro weighted  --n 50 --p 0.1 --eps 0.1`` (Theorem 4.5)
+* ``python -m repro generic   --n 30 --p 0.1 --k 2``     (Theorem 3.1)
+* ``python -m repro baselines --n 80 --p 0.06``          (II / greedy / LPS / Hoepman)
+* ``python -m repro switch    --ports 16 --load 0.9``    (scheduler comparison)
+* ``python -m repro file <edgelist> --algo bipartite --k 3``  (your own graph)
+
+Every command prints the matching size/weight, the exact optimum, the
+achieved ratio, and the measured distributed cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import format_table
+from repro.baselines import (
+    hoepman_mwm,
+    israeli_itai_matching,
+    lps_mwm,
+)
+from repro.core import bipartite_mcm, general_mcm, generic_mcm, weighted_mwm
+from repro.graphs import bipartite_random, gnp_random, read_edgelist
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import (
+    greedy_mwm,
+    hopcroft_karp,
+    maximum_matching_size,
+    maximum_matching_weight,
+)
+
+
+def _print_result(name, size_or_weight, opt, res) -> None:
+    ratio = size_or_weight / opt if opt else 1.0
+    print(f"{name}: value = {size_or_weight:g}, optimum = {opt:g}, "
+          f"ratio = {ratio:.4f}")
+    if res is not None:
+        print(f"  distributed cost: {res.rounds} rounds "
+              f"(+{res.charged_rounds} charged), "
+              f"{res.total_messages} messages, "
+              f"max message {res.max_message_bits} bits")
+
+
+def cmd_bipartite(args) -> int:
+    g, xs, _ = bipartite_random(args.n, args.n, args.p, seed=args.seed)
+    m, res = bipartite_mcm(g, k=args.k, xs=xs, seed=args.seed)
+    opt = len(hopcroft_karp(g, xs))
+    print(f"random bipartite: {g.n} vertices, {g.m} edges")
+    _print_result(f"bipartite_mcm (Thm 3.8, k={args.k})", len(m), opt, res)
+    return 0
+
+
+def cmd_general(args) -> int:
+    g = gnp_random(args.n, args.p, seed=args.seed)
+    m, res, outer = general_mcm(g, k=args.k, seed=args.seed)
+    opt = maximum_matching_size(g)
+    print(f"G(n,p): {g.n} vertices, {g.m} edges")
+    _print_result(f"general_mcm (Thm 3.11, k={args.k})", len(m), opt, res)
+    print(f"  bipartition samples used: {outer}")
+    return 0
+
+
+def cmd_generic(args) -> int:
+    g = gnp_random(args.n, args.p, seed=args.seed)
+    m, stats = generic_mcm(g, k=args.k, seed=args.seed)
+    opt = maximum_matching_size(g)
+    print(f"G(n,p): {g.n} vertices, {g.m} edges")
+    _print_result(f"generic_mcm (Thm 3.1, k={args.k})", len(m), opt, stats.result)
+    print(f"  conflict graph sizes per phase: {stats.conflict_sizes}")
+    return 0
+
+
+def cmd_weighted(args) -> int:
+    g = assign_uniform_weights(
+        gnp_random(args.n, args.p, seed=args.seed), seed=args.seed
+    )
+    m, res, iters = weighted_mwm(g, eps=args.eps, seed=args.seed)
+    opt = maximum_matching_weight(g)
+    print(f"weighted G(n,p): {g.n} vertices, {g.m} edges")
+    _print_result(f"weighted_mwm (Thm 4.5, eps={args.eps})", m.weight(), opt, res)
+    print(f"  black-box iterations: {iters}")
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    g = gnp_random(args.n, args.p, seed=args.seed)
+    gw = assign_uniform_weights(g, seed=args.seed)
+    opt = maximum_matching_size(g)
+    wopt = maximum_matching_weight(gw)
+    rows = []
+    ii, res = israeli_itai_matching(g, seed=args.seed)
+    rows.append(["Israeli-Itai (1/2-MCM)", len(ii), opt, len(ii) / opt, res.rounds])
+    lm, res = lps_mwm(gw, seed=args.seed)
+    rows.append(["LPS-style (1/4-MWM)", round(lm.weight(), 1), round(wopt, 1),
+                 lm.weight() / wopt, res.rounds])
+    hm, res = hoepman_mwm(gw)
+    rows.append(["Hoepman (1/2-MWM)", round(hm.weight(), 1), round(wopt, 1),
+                 hm.weight() / wopt, res.rounds])
+    gm = greedy_mwm(gw)
+    rows.append(["greedy (1/2-MWM, seq)", round(gm.weight(), 1), round(wopt, 1),
+                 gm.weight() / wopt, "-"])
+    print(f"G(n,p): {g.n} vertices, {g.m} edges")
+    print(format_table(["baseline", "value", "optimum", "ratio", "rounds"], rows))
+    return 0
+
+
+def cmd_switch(args) -> int:
+    from repro.switch import (
+        GreedyMaximalScheduler,
+        IslipAdapter,
+        PaperScheduler,
+        PimScheduler,
+        bernoulli_uniform,
+        run_switch,
+    )
+
+    rows = []
+    for name, factory in [
+        ("PIM", lambda: PimScheduler(args.ports, seed=args.seed)),
+        ("iSLIP", lambda: IslipAdapter(args.ports)),
+        ("maximal", lambda: GreedyMaximalScheduler(args.ports, seed=args.seed)),
+        (f"paper k={args.k}", lambda: PaperScheduler(args.ports, k=args.k)),
+    ]:
+        st = run_switch(
+            args.ports,
+            bernoulli_uniform(args.ports, args.load, seed=args.seed),
+            factory(),
+            slots=args.slots,
+            warmup=args.slots // 5,
+        )
+        rows.append([name, st.throughput, st.mean_delay, st.backlog])
+    print(f"{args.ports}x{args.ports} switch at load {args.load}:")
+    print(format_table(["scheduler", "throughput", "mean delay", "backlog"], rows))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    md = generate_report(args.out, seed=args.seed)
+    print(md)
+    print(f"(written to {args.out})")
+    return 0
+
+
+def cmd_file(args) -> int:
+    g = read_edgelist(args.path)
+    print(f"loaded {args.path}: {g.n} vertices, {g.m} edges, "
+          f"{'weighted' if g.weighted else 'unweighted'}")
+    if args.algo == "bipartite":
+        part = g.bipartition()
+        if part is None:
+            print("error: graph is not bipartite", file=sys.stderr)
+            return 1
+        m, res = bipartite_mcm(g, k=args.k, xs=part[0], seed=args.seed)
+        opt = len(hopcroft_karp(g, part[0]))
+        _print_result(f"bipartite_mcm (k={args.k})", len(m), opt, res)
+    elif args.algo == "general":
+        m, res, _ = general_mcm(g, k=max(args.k, 3), seed=args.seed)
+        opt = maximum_matching_size(g)
+        _print_result(f"general_mcm (k={max(args.k, 3)})", len(m), opt, res)
+    else:  # weighted
+        if not g.weighted:
+            print("error: weighted algorithm needs edge weights", file=sys.stderr)
+            return 1
+        m, res, _ = weighted_mwm(g, eps=args.eps, seed=args.seed)
+        opt = maximum_matching_weight(g)
+        _print_result(f"weighted_mwm (eps={args.eps})", m.weight(), opt, res)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed approximate matching (SPAA 2008 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp, n=60, pdef=0.08):
+        sp.add_argument("--n", type=int, default=n, help="vertices (per side)")
+        sp.add_argument("--p", type=float, default=pdef, help="edge probability")
+        sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("bipartite", help="Theorem 3.8 on a random bipartite graph")
+    common(sp)
+    sp.add_argument("--k", type=int, default=3, help="guarantee 1-1/k")
+    sp.set_defaults(fn=cmd_bipartite)
+
+    sp = sub.add_parser("general", help="Theorem 3.11 on G(n,p)")
+    common(sp)
+    sp.add_argument("--k", type=int, default=3)
+    sp.set_defaults(fn=cmd_general)
+
+    sp = sub.add_parser("generic", help="Theorem 3.1 on G(n,p) (LOCAL model)")
+    common(sp, n=30, pdef=0.1)
+    sp.add_argument("--k", type=int, default=2)
+    sp.set_defaults(fn=cmd_generic)
+
+    sp = sub.add_parser("weighted", help="Theorem 4.5 on weighted G(n,p)")
+    common(sp, n=50, pdef=0.1)
+    sp.add_argument("--eps", type=float, default=0.1)
+    sp.set_defaults(fn=cmd_weighted)
+
+    sp = sub.add_parser("baselines", help="run all prior-work baselines")
+    common(sp, n=80, pdef=0.06)
+    sp.set_defaults(fn=cmd_baselines)
+
+    sp = sub.add_parser("switch", help="switch scheduler comparison")
+    sp.add_argument("--ports", type=int, default=16)
+    sp.add_argument("--load", type=float, default=0.9)
+    sp.add_argument("--slots", type=int, default=2000)
+    sp.add_argument("--k", type=int, default=3)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_switch)
+
+    sp = sub.add_parser("report", help="write a Markdown reproduction snapshot")
+    sp.add_argument("--out", default="REPORT.md")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_report)
+
+    sp = sub.add_parser("file", help="run an algorithm on an edge-list file")
+    sp.add_argument("path")
+    sp.add_argument(
+        "--algo", choices=("bipartite", "general", "weighted"), default="general"
+    )
+    sp.add_argument("--k", type=int, default=3)
+    sp.add_argument("--eps", type=float, default=0.1)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_file)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

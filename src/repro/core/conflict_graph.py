@@ -1,0 +1,82 @@
+"""Conflict graphs (Definition 3.1) and local-view path enumeration.
+
+Definition 3.1: the ℓ-conflict graph C_M(ℓ) has one node per
+augmenting path of length at most ℓ w.r.t. M, with an edge between two
+nodes iff their paths intersect at a vertex of G.  Algorithm 1 computes
+a maximal independent set of C_M(ℓ); independence in C_M(ℓ) is exactly
+vertex-disjointness of the augmenting paths, which is what makes
+simultaneous augmentation safe (step 7).
+
+Leaders: Algorithm 2 assigns each path to the endpoint with the
+smaller ID.  :func:`local_view_paths` reproduces the *local* rule —
+the paths a node discovers and leads inside its distance-ℓ view — so
+tests can verify the distributed assignment covers every path exactly
+once.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.graphs.graph import Graph
+from repro.matching.augmenting import Path, find_augmenting_paths_upto
+from repro.matching.matching import Matching
+
+
+def build_conflict_graph(
+    g: Graph, m: Matching, max_len: int
+) -> tuple[list[Path], Graph, list[int]]:
+    """Construct C_M(max_len).
+
+    Returns ``(paths, conflict_graph, leaders)`` where ``paths[i]`` is
+    the augmenting path represented by conflict-graph node ``i``,
+    ``conflict_graph`` has one vertex per path and an edge per
+    intersecting pair, and ``leaders[i]`` is the physical leader node
+    (smaller-ID endpoint, as in Algorithm 2 step 3).
+    """
+    paths = find_augmenting_paths_upto(g, m, max_len)
+    by_vertex: dict[int, list[int]] = {}
+    for i, p in enumerate(paths):
+        for v in p:
+            by_vertex.setdefault(v, []).append(i)
+    conflict_edges: set[tuple[int, int]] = set()
+    for members in by_vertex.values():
+        for a, b in combinations(members, 2):
+            conflict_edges.add((a, b) if a < b else (b, a))
+    cg = Graph(len(paths), sorted(conflict_edges))
+    leaders = [min(p[0], p[-1]) for p in paths]
+    return paths, cg, leaders
+
+
+def local_view_paths(
+    g: Graph, m: Matching, center: int, max_len: int
+) -> list[Path]:
+    """Paths of P_v(ℓ) that node ``center`` *leads* in its local view.
+
+    Algorithm 2 step 3: v leads the augmenting paths of length <= ℓ in
+    its distance-ℓ view whose endpoint of smaller ID is v.  Since any
+    augmenting path of length <= ℓ with endpoint v lies inside v's
+    distance-ℓ ball, enumerating alternating simple paths from v
+    suffices — no global knowledge is used beyond the ball.
+    """
+    if not m.is_free(center):
+        return []
+    found: set[Path] = set()
+    stack: list[tuple[list[int], bool]] = [([center], False)]
+    while stack:
+        path, want_matched = stack.pop()
+        v = path[-1]
+        if len(path) - 1 >= max_len:
+            continue
+        for u in g.neighbors(v):
+            if u in path:
+                continue
+            if m.is_matched_edge(v, u) != want_matched:
+                continue
+            new_path = path + [u]
+            if not want_matched and m.is_free(u):
+                if center < u:  # leader rule: smaller-ID endpoint
+                    found.add(tuple(new_path))
+                continue
+            stack.append((new_path, not want_matched))
+    return sorted(found)

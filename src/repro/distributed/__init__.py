@@ -1,0 +1,30 @@
+"""Synchronous message-passing simulator (the model of Section 2).
+
+In each round every node sends (possibly different) messages to its
+neighbors, receives the messages sent to it in the previous round, and
+performs local computation.  Two model variants are supported:
+
+* ``LOCAL`` — unbounded message size (used by the generic Algorithm 1,
+  whose messages are O(|V|+|E|) bits);
+* ``CONGEST`` — messages of O(log n) bits; the simulator *enforces* a
+  configurable bound and records the maximum observed message size so
+  the paper's message-complexity claims are measurable.
+
+Node algorithms are Python generators: ``yield`` ends the round.
+"""
+
+from repro.distributed.message import bit_size
+from repro.distributed.models import CONGEST, LOCAL, CongestViolation, Model
+from repro.distributed.network import Network, RunResult
+from repro.distributed.node import Node
+
+__all__ = [
+    "bit_size",
+    "CONGEST",
+    "LOCAL",
+    "CongestViolation",
+    "Model",
+    "Network",
+    "RunResult",
+    "Node",
+]

@@ -1,0 +1,48 @@
+"""Run metrics collected by the simulator.
+
+These are the quantities the paper's theorems bound:
+
+* ``rounds`` — time complexity (Thm 3.1: O(ε⁻³ log n); Thm 3.8:
+  O(k³ log Δ + k² log n); Thm 3.11: O(2^{2k} k⁴ log k · log n);
+  Thm 4.5: O(log ε⁻¹ · log n));
+* ``max_message_bits`` — message complexity (O(|V|+|E|) / O(log Δ) /
+  O(log n) respectively);
+* ``total_messages`` / ``total_bits`` — aggregate communication, used
+  by the scaling analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`repro.distributed.Network.run` call."""
+
+    rounds: int = 0
+    total_messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    outputs: dict[int, Any] = field(default_factory=dict)
+    #: extra rounds charged analytically (e.g. Lemma 3.3's O(ℓ) routing
+    #: per conflict-graph MIS round in Algorithm 1's emulation).
+    charged_rounds: int = 0
+
+    @property
+    def total_rounds(self) -> int:
+        """Simulated plus analytically charged rounds."""
+        return self.rounds + self.charged_rounds
+
+    def merge(self, other: "RunResult") -> "RunResult":
+        """Sequential composition: totals add, outputs overwrite."""
+        merged = RunResult(
+            rounds=self.rounds + other.rounds,
+            total_messages=self.total_messages + other.total_messages,
+            total_bits=self.total_bits + other.total_bits,
+            max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            charged_rounds=self.charged_rounds + other.charged_rounds,
+        )
+        merged.outputs = {**self.outputs, **other.outputs}
+        return merged

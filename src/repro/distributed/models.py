@@ -1,0 +1,56 @@
+"""Model variants: LOCAL and CONGEST (Section 2 of the paper).
+
+``Model`` couples a name with a per-message bit bound as a function of
+the network, so the simulator can enforce (CONGEST) or merely record
+(LOCAL) message sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+class CongestViolation(RuntimeError):
+    """A message exceeded the model's per-message bit bound."""
+
+
+@dataclass(frozen=True)
+class Model:
+    """A synchronous model variant.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    bound_bits:
+        ``f(n, max_degree) -> limit`` giving the per-message bit budget,
+        or ``None`` for unbounded (LOCAL).
+    """
+
+    name: str
+    bound_bits: Callable[[int, int], int] | None = None
+
+    def limit(self, n: int, max_degree: int) -> int | None:
+        """Per-message bit limit for an n-node network, or ``None``."""
+        if self.bound_bits is None:
+            return None
+        return self.bound_bits(n, max_degree)
+
+
+def _congest_bound(n: int, _max_degree: int) -> int:
+    # The conventional CONGEST budget is c * log2(n) bits; we use a
+    # generous c = 32 so protocol constants (tags, a few counters per
+    # message) never trip honest O(log n) algorithms, while anything
+    # polynomial-size fails loudly.
+    return 32 * max(1, math.ceil(math.log2(max(2, n))))
+
+
+LOCAL = Model("LOCAL")
+CONGEST = Model("CONGEST", _congest_bound)
+
+
+def congest_with_bound(bits: int) -> Model:
+    """A CONGEST variant with an explicit absolute per-message bound."""
+    return Model(f"CONGEST({bits}b)", lambda n, d: bits)

@@ -1,0 +1,148 @@
+"""The synchronous round executor.
+
+``Network`` instantiates one generator per vertex and advances all of
+them in lockstep.  Per round:
+
+1. every live node's generator is resumed (it reads ``node.inbox``,
+   computes, queues sends, then yields or returns);
+2. all queued messages are validated (neighbor-only, size within the
+   model bound), counted, and delivered into the recipients' inboxes
+   for the next round.
+
+The loop ends when every node's generator has returned.  Determinism:
+node RNGs are spawned from a single ``SeedSequence``, and delivery
+order into an inbox follows sender id, so results depend only on the
+seed — never on Python iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.distributed.message import Sized, bit_size
+from repro.distributed.metrics import RunResult
+from repro.distributed.models import LOCAL, CongestViolation, Model
+from repro.distributed.node import Node
+from repro.graphs.graph import Graph
+
+NodeProgram = Callable[..., Generator[None, None, Any]]
+
+
+class Network:
+    """A synchronous network executing one node program on every vertex.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology (also consulted for edge weights).
+    program:
+        Generator function invoked as ``program(node, **params)``.
+    params:
+        Extra keyword arguments passed to every node program (global
+        knowledge such as n, k, ε — the paper's algorithms assume nodes
+        know n and the accuracy parameter).
+    seed:
+        Master seed for all node RNGs.
+    model:
+        ``LOCAL`` (default) or ``CONGEST``; CONGEST enforces the
+        per-message bit bound.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: NodeProgram,
+        params: dict[str, Any] | None = None,
+        seed: int = 0,
+        model: Model = LOCAL,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self._limit = model.limit(graph.n, graph.max_degree())
+        seq = np.random.SeedSequence(seed)
+        children = seq.spawn(graph.n)
+        self.nodes = [
+            Node(v, graph, np.random.default_rng(children[v]))
+            for v in range(graph.n)
+        ]
+        params = params or {}
+        self._gens: list[Generator[None, None, Any] | None] = [
+            program(self.nodes[v], **params) for v in range(graph.n)
+        ]
+        self.result = RunResult()
+
+    def run(self, max_rounds: int = 1_000_000) -> RunResult:
+        """Advance rounds until all programs return (or raise on budget).
+
+        Raises
+        ------
+        RuntimeError
+            If ``max_rounds`` elapse with live nodes — in a correct
+            lockstep protocol this signals a deadlock/phase mismatch.
+        CongestViolation
+            In CONGEST mode, when a message exceeds the bit budget.
+        """
+        res = self.result
+        live = sum(1 for g in self._gens if g is not None)
+        neighbor_sets = [set(self.nodes[v].neighbors) for v in range(self.graph.n)]
+        while live:
+            if res.rounds >= max_rounds:
+                raise RuntimeError(
+                    f"{live} node(s) still running after {max_rounds} rounds; "
+                    "lockstep protocol bug or budget too small"
+                )
+            # 1. Resume every live generator for this round.
+            for v, gen in enumerate(self._gens):
+                if gen is None:
+                    continue
+                node = self.nodes[v]
+                node.round = res.rounds
+                try:
+                    next(gen)
+                except StopIteration as stop:
+                    if stop.value is not None:
+                        node.output = stop.value
+                    self._gens[v] = None
+                    live -= 1
+            # 2. Validate, account, and deliver all queued messages.
+            pending: list[list[tuple[int, Any]]] = [[] for _ in self.nodes]
+            for v, node in enumerate(self.nodes):
+                if not node._outbox:
+                    continue
+                for dst, payload in node._outbox:
+                    if dst not in neighbor_sets[v]:
+                        raise ValueError(
+                            f"node {v} sent to non-neighbor {dst} "
+                            f"(round {res.rounds})"
+                        )
+                    bits = bit_size(payload)
+                    if self._limit is not None and bits > self._limit:
+                        raise CongestViolation(
+                            f"node {v} -> {dst}: {bits}-bit message exceeds "
+                            f"{self.model.name} bound of {self._limit} bits "
+                            f"(round {res.rounds}, payload {payload!r})"
+                        )
+                    res.total_messages += 1
+                    res.total_bits += bits
+                    if bits > res.max_message_bits:
+                        res.max_message_bits = bits
+                    if isinstance(payload, Sized):
+                        payload = payload.payload
+                    pending[dst].append((v, payload))
+                node._outbox.clear()
+            for v, node in enumerate(self.nodes):
+                node.inbox = pending[v]
+            # A round is counted only when some node actually crossed a
+            # round boundary (yielded); programs that return without
+            # ever yielding use zero communication rounds.
+            if live:
+                res.rounds += 1
+        for node in self.nodes:
+            res.outputs[node.id] = node.output
+        return res
+
+    def charge_rounds(self, extra: int) -> None:
+        """Add analytically charged rounds (see RunResult.charged_rounds)."""
+        self.result.charged_rounds += extra

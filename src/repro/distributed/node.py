@@ -1,0 +1,91 @@
+"""The node-side API visible to distributed algorithms.
+
+A *node program* is a generator function ``program(node, **params)``;
+executing ``yield`` ends the node's current round.  After the yield
+returns, ``node.inbox`` holds the ``(src, payload)`` pairs sent to the
+node in the previous round.  A program terminates by returning;
+``node.output`` (set via :meth:`Node.finish` or by the return value)
+is collected by the network.
+
+Nodes may only message their graph neighbors — the simulator rejects
+anything else, keeping algorithms honest to the model of Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+class Node:
+    """Per-node state and communication endpoints.
+
+    Attributes
+    ----------
+    id:
+        The node's identifier (= vertex id).  The paper assumes unique
+        IDs (leader election in Algorithm 2 breaks ties by ID).
+    neighbors:
+        Neighbor ids in port order.
+    rng:
+        Node-private deterministic RNG (spawned from the network seed),
+        so runs are reproducible regardless of scheduling order.
+    inbox:
+        ``(src, payload)`` pairs received at the start of this round.
+    output:
+        The node's result, reported to :class:`RunResult.outputs`.
+    """
+
+    __slots__ = (
+        "id",
+        "neighbors",
+        "rng",
+        "inbox",
+        "output",
+        "_outbox",
+        "_graph",
+        "round",
+    )
+
+    def __init__(self, vid: int, graph: Graph, rng: np.random.Generator) -> None:
+        self.id = vid
+        self.neighbors: list[int] = graph.neighbors(vid)
+        self.rng = rng
+        self.inbox: list[tuple[int, Any]] = []
+        self.output: Any = None
+        self._outbox: list[tuple[int, Any]] = []
+        self._graph = graph
+        self.round = 0
+
+    @property
+    def degree(self) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors)
+
+    def send(self, dst: int, payload: Any) -> None:
+        """Queue a message to neighbor ``dst`` for delivery next round."""
+        self._outbox.append((dst, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue the same message to every neighbor."""
+        for u in self.neighbors:
+            self._outbox.append((u, payload))
+
+    def finish(self, output: Any) -> None:
+        """Record the node's output (typically followed by ``return``)."""
+        self.output = output
+
+    def edge_weight(self, u: int) -> float:
+        """Weight of the incident edge to neighbor ``u``.
+
+        Local knowledge: a node knows the weights of its incident edges
+        (the standard assumption for distributed weighted matching).
+        """
+        return self._graph.weight(self.id, u)
+
+    def port_of(self, u: int) -> int:
+        """Port number (index into ``neighbors``) of neighbor ``u``."""
+        return self.neighbors.index(u)

@@ -1,0 +1,58 @@
+"""Graph substrate: data structures, generators and IO.
+
+This subpackage is self-contained (no networkx dependency at runtime);
+all simulator and algorithm code builds on :class:`repro.graphs.Graph`.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barbell_graph,
+    bipartite_random,
+    caterpillar_graph,
+    comb_graph,
+    complete_bipartite,
+    complete_graph,
+    crown_graph,
+    cycle_graph,
+    gnm_random,
+    gnp_random,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_regular,
+    random_tree,
+    star_graph,
+    switch_demand_graph,
+)
+from repro.graphs.weights import (
+    assign_exponential_weights,
+    assign_integer_weights,
+    assign_uniform_weights,
+)
+from repro.graphs.io import read_edgelist, write_edgelist
+
+__all__ = [
+    "Graph",
+    "barbell_graph",
+    "bipartite_random",
+    "caterpillar_graph",
+    "comb_graph",
+    "hypercube_graph",
+    "complete_bipartite",
+    "complete_graph",
+    "crown_graph",
+    "cycle_graph",
+    "gnm_random",
+    "gnp_random",
+    "grid_graph",
+    "path_graph",
+    "random_regular",
+    "random_tree",
+    "star_graph",
+    "switch_demand_graph",
+    "assign_exponential_weights",
+    "assign_integer_weights",
+    "assign_uniform_weights",
+    "read_edgelist",
+    "write_edgelist",
+]

@@ -1,0 +1,327 @@
+"""Graph generators for the experiment suite.
+
+All generators take an explicit ``seed`` (or an ``rng``) so every
+experiment is reproducible.  Families:
+
+* classical random graphs — G(n, p), G(n, m), random d-regular,
+  uniform random trees;
+* structured graphs — paths, cycles, grids, stars, complete and
+  complete-bipartite graphs;
+* *crown graphs* — the standard family on which a maximal matching can
+  be ~half the maximum one, separating the ½-approximation baselines
+  from the paper's (1−1/k) algorithms;
+* bipartite demand graphs modelling the switch-scheduling workload the
+  paper's introduction motivates (input ports × output ports, an edge
+  per non-empty virtual output queue).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def gnp_random(n: int, p: float, seed: int | np.random.Generator | None = 0) -> Graph:
+    """Erdős–Rényi G(n, p).
+
+    Sampled via geometric edge skipping, O(n + m) expected time, so
+    large sparse instances are cheap.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0,1], got {p}")
+    rng = _rng(seed)
+    edges: list[tuple[int, int]] = []
+    if p == 0.0 or n < 2:
+        return Graph(n, edges)
+    if p == 1.0:
+        return complete_graph(n)
+    # Iterate over the n*(n-1)/2 potential edges in lexicographic order,
+    # jumping ahead by Geometric(p) each time.
+    lp = np.log1p(-p)
+    total = n * (n - 1) // 2
+    idx = -1
+    while True:
+        # Geometric(p) gap >= 1
+        gap = 1 + int(np.floor(np.log(1.0 - rng.random()) / lp))
+        idx += gap
+        if idx >= total:
+            break
+        # Unrank idx -> (u, v), u < v.
+        u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * idx)) // 2)
+        # First index of row u:
+        base = u * (2 * n - u - 1) // 2
+        while base > idx:  # guard against float rounding in the unrank
+            u -= 1
+            base = u * (2 * n - u - 1) // 2
+        while base + (n - u - 1) <= idx:
+            base += n - u - 1
+            u += 1
+        v = u + 1 + (idx - base)
+        edges.append((u, v))
+    return Graph(n, edges)
+
+
+def gnm_random(n: int, m: int, seed: int | np.random.Generator | None = 0) -> Graph:
+    """Uniform random graph with exactly ``m`` edges."""
+    total = n * (n - 1) // 2
+    if m > total:
+        raise ValueError(f"m={m} exceeds the {total} possible edges")
+    rng = _rng(seed)
+    chosen = rng.choice(total, size=m, replace=False)
+    edges = []
+    for idx in chosen:
+        idx = int(idx)
+        u = 0
+        base = 0
+        while base + (n - u - 1) <= idx:
+            base += n - u - 1
+            u += 1
+        v = u + 1 + (idx - base)
+        edges.append((u, v))
+    return Graph(n, edges)
+
+
+def bipartite_random(
+    nx: int,
+    ny: int,
+    p: float,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[Graph, list[int], list[int]]:
+    """Random bipartite graph: X = 0..nx-1, Y = nx..nx+ny-1, edge prob p.
+
+    Returns ``(graph, X, Y)``.
+    """
+    rng = _rng(seed)
+    mask = rng.random((nx, ny)) < p
+    xs, ys = np.nonzero(mask)
+    edges = [(int(x), nx + int(y)) for x, y in zip(xs, ys)]
+    g = Graph(nx + ny, edges)
+    return g, list(range(nx)), list(range(nx, nx + ny))
+
+
+def complete_graph(n: int) -> Graph:
+    """K_n."""
+    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def complete_bipartite(nx: int, ny: int) -> tuple[Graph, list[int], list[int]]:
+    """K_{nx,ny}; returns ``(graph, X, Y)``."""
+    edges = [(x, nx + y) for x in range(nx) for y in range(ny)]
+    return Graph(nx + ny, edges), list(range(nx)), list(range(nx, nx + ny))
+
+
+def path_graph(n: int) -> Graph:
+    """Path on n vertices (n-1 edges)."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on n >= 3 vertices."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Star with center 0 and n-1 leaves."""
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows × cols grid; vertex (r, c) is r*cols + c."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph(rows * cols, edges)
+
+
+def crown_graph(k: int) -> tuple[Graph, list[int], list[int]]:
+    """Crown graph S_k^0: K_{k,k} minus a perfect matching.
+
+    The classical hard case for ½-approximations: a maximal matching can
+    have size ⌈k/2⌉-ish while the maximum is k... more precisely the
+    crown has a perfect matching of size k, yet greedy/maximal schemes
+    can get stuck at much smaller matchings on its *augmenting*
+    structure.  Used in the baseline-separation experiment E5.
+    """
+    if k < 3:
+        raise ValueError("crown graph needs k >= 3")
+    edges = [(x, k + y) for x in range(k) for y in range(k) if x != y]
+    return Graph(2 * k, edges), list(range(k)), list(range(k, 2 * k))
+
+
+def random_tree(n: int, seed: int | np.random.Generator | None = 0) -> Graph:
+    """Uniform random labelled tree via a random Prüfer sequence."""
+    if n <= 1:
+        return Graph(n)
+    if n == 2:
+        return Graph(2, [(0, 1)])
+    rng = _rng(seed)
+    prufer = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    edges = []
+    # Min-leaf scan (O(n log n) with a sorted structure is unnecessary
+    # at our scales; a pointer scan is O(n^2) worst case but fine).
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph(n, edges)
+
+
+def random_regular(n: int, d: int, seed: int | np.random.Generator | None = 0) -> Graph:
+    """Random d-regular graph via the pairing model with retries.
+
+    Raises ``ValueError`` when ``n*d`` is odd or ``d >= n``.
+    """
+    if d >= n:
+        raise ValueError(f"degree d={d} must be < n={n}")
+    if (n * d) % 2 != 0:
+        raise ValueError("n*d must be even")
+    rng = _rng(seed)
+    for _attempt in range(200):
+        stubs = np.repeat(np.arange(n), d)
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        seen: set[tuple[int, int]] = set()
+        ok = True
+        edges = []
+        for a, b in pairs:
+            a, b = int(a), int(b)
+            if a == b:
+                ok = False
+                break
+            key = (a, b) if a < b else (b, a)
+            if key in seen:
+                ok = False
+                break
+            seen.add(key)
+            edges.append(key)
+        if ok:
+            return Graph(n, edges)
+    raise RuntimeError(
+        f"pairing model failed to produce a simple {d}-regular graph "
+        f"on {n} vertices after 200 attempts"
+    )
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """The ``dim``-dimensional hypercube Q_dim (2^dim vertices)."""
+    if dim < 0:
+        raise ValueError("dimension must be nonnegative")
+    n = 1 << dim
+    edges = [
+        (v, v ^ (1 << b)) for v in range(n) for b in range(dim) if v < v ^ (1 << b)
+    ]
+    return Graph(n, edges)
+
+
+def barbell_graph(k: int, bridge: int = 1) -> Graph:
+    """Two K_k cliques joined by a path of ``bridge`` edges.
+
+    Low-conductance structure: stresses algorithms whose progress
+    arguments assume expansion.
+    """
+    if k < 2:
+        raise ValueError("cliques need k >= 2")
+    if bridge < 1:
+        raise ValueError("bridge needs at least one edge")
+    n = 2 * k + (bridge - 1)
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    right = list(range(k + bridge - 1, n))
+    edges += [(u, v) for i, u in enumerate(right) for v in right[i + 1:]]
+    chain = [k - 1] + list(range(k, k + bridge - 1)) + [right[0]]
+    edges += [(chain[i], chain[i + 1]) for i in range(len(chain) - 1)]
+    return Graph(n, edges)
+
+
+def caterpillar_graph(spine: int, legs: int = 1, seed: int | np.random.Generator | None = 0) -> Graph:
+    """A path of ``spine`` vertices with ``legs`` leaves per spine node."""
+    if spine < 1:
+        raise ValueError("spine must have at least one vertex")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs):
+            edges.append((s, nxt))
+            nxt += 1
+    return Graph(nxt, edges)
+
+
+def comb_graph(teeth: int) -> Graph:
+    """A comb: a path spine with one pendant leaf per spine vertex.
+
+    The classical ½-separation instance: the spine-leaf edges form a
+    perfect matching of size ``teeth``, yet the spine edges alone are a
+    maximal matching of size ~teeth/2 — the worst case any maximal-
+    matching baseline (Israeli–Itai, greedy, PIM-style) can fall into,
+    while phase-based (1−1/k) algorithms escape via 3-augmentations.
+    """
+    if teeth < 2:
+        raise ValueError("comb needs at least 2 teeth")
+    edges = [(i, i + 1) for i in range(teeth - 1)]  # spine
+    edges += [(i, teeth + i) for i in range(teeth)]  # leaves
+    return Graph(2 * teeth, edges)
+
+
+def switch_demand_graph(
+    ports: int,
+    load: float,
+    pattern: str = "uniform",
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[Graph, list[int], list[int]]:
+    """Bipartite demand graph of an input-queued switch.
+
+    One X vertex per input port, one Y vertex per output port; an edge
+    means the corresponding virtual output queue is non-empty this
+    cell slot.  ``load`` is the probability a given VOQ has traffic.
+
+    Patterns
+    --------
+    ``uniform``
+        each (input, output) pair independently backlogged with
+        probability ``load``;
+    ``diagonal``
+        port i mostly talks to outputs i and i+1 (mod ports);
+    ``hotspot``
+        all inputs additionally contend for output 0.
+    """
+    rng = _rng(seed)
+    edges = []
+    for i in range(ports):
+        for j in range(ports):
+            if pattern == "uniform":
+                p = load
+            elif pattern == "diagonal":
+                p = load if j in (i, (i + 1) % ports) else load / (2 * ports)
+            elif pattern == "hotspot":
+                p = min(1.0, load * 2) if j == 0 else load / 2
+            else:
+                raise ValueError(f"unknown pattern {pattern!r}")
+            if rng.random() < p:
+                edges.append((i, ports + j))
+    g = Graph(2 * ports, edges)
+    return g, list(range(ports)), list(range(ports, 2 * ports))

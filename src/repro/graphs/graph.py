@@ -1,0 +1,244 @@
+"""Undirected graph data structure used throughout the reproduction.
+
+The paper (Section 2) works with an undirected graph ``G = (V, E)``,
+optionally weighted by ``w : E -> R+``.  Vertices are integers
+``0 .. n-1`` and edges carry stable integer ids ``0 .. m-1`` so that
+algorithms can index per-edge state with plain lists (this matters for
+Algorithm 3, whose per-node counters ``c_v[i]`` are indexed by incident
+edge).
+
+Topology is immutable after construction; weights may be replaced
+wholesale via :meth:`Graph.with_weights` (used by Algorithm 5, which
+re-weights the same topology each iteration with the derived weight
+function ``w_M``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class Graph:
+    """An undirected graph with integer vertices and stable edge ids.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges
+        are rejected.
+    weights:
+        Optional sequence of positive edge weights, aligned with
+        ``edges``.  ``None`` means the graph is unweighted (all queries
+        through :meth:`weight` return 1.0).
+
+    Notes
+    -----
+    Adjacency is stored as, per vertex, a list of ``(neighbor,
+    edge_id)`` pairs in insertion order.  The *position* of an entry in
+    that list is the "port number" of the edge at that vertex — the
+    distributed model in Section 2 lets a node distinguish its incident
+    edges, and Algorithm 3 indexes its counter array by port.
+    """
+
+    __slots__ = ("n", "m", "_edges", "_adj", "_eid", "_weights")
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]] = (),
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be nonnegative, got {n}")
+        self.n = n
+        self._edges: list[tuple[int, int]] = []
+        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        self._eid: dict[tuple[int, int], int] = {}
+        for u, v in edges:
+            self._add_edge(u, v)
+        self.m = len(self._edges)
+        if weights is not None:
+            weights = list(weights)
+            if len(weights) != self.m:
+                raise ValueError(
+                    f"{len(weights)} weights for {self.m} edges"
+                )
+            for eid, w in enumerate(weights):
+                if w <= 0:
+                    u, v = self._edges[eid]
+                    raise ValueError(
+                        f"edge ({u},{v}) has non-positive weight {w}; "
+                        "the paper assumes w : E -> R+"
+                    )
+            self._weights: list[float] | None = weights
+        else:
+            self._weights = None
+
+    def _add_edge(self, u: int, v: int) -> None:
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u}")
+        key = (u, v) if u < v else (v, u)
+        if key in self._eid:
+            raise ValueError(f"duplicate edge ({u},{v})")
+        eid = len(self._edges)
+        self._eid[key] = eid
+        self._edges.append(key)
+        self._adj[u].append((v, eid))
+        self._adj[v].append((u, eid))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def weighted(self) -> bool:
+        """Whether explicit weights were supplied."""
+        return self._weights is not None
+
+    def vertices(self) -> range:
+        """All vertices as a range."""
+        return range(self.n)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as ``(u, v)`` with ``u < v``, indexed by edge id."""
+        return list(self._edges)
+
+    def edge_endpoints(self, eid: int) -> tuple[int, int]:
+        """Endpoints ``(u, v)`` with ``u < v`` of edge ``eid``."""
+        return self._edges[eid]
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Edge id of ``(u, v)``; raises ``KeyError`` if absent."""
+        return self._eid[(u, v) if u < v else (v, u)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is an edge."""
+        return ((u, v) if u < v else (v, u)) in self._eid
+
+    def neighbors(self, v: int) -> list[int]:
+        """Neighbors of ``v`` in port order."""
+        return [u for u, _ in self._adj[v]]
+
+    def incident(self, v: int) -> list[tuple[int, int]]:
+        """``(neighbor, edge_id)`` pairs of ``v`` in port order."""
+        return list(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v``."""
+        return len(self._adj[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 on the empty graph)."""
+        return max((len(a) for a in self._adj), default=0)
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)`` (1.0 in unweighted graphs)."""
+        eid = self.edge_id(u, v)
+        return 1.0 if self._weights is None else self._weights[eid]
+
+    def edge_weight(self, eid: int) -> float:
+        """Weight of edge ``eid`` (1.0 in unweighted graphs)."""
+        return 1.0 if self._weights is None else self._weights[eid]
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        if self._weights is None:
+            return float(self.m)
+        return float(sum(self._weights))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = "weighted " if self.weighted else ""
+        return f"Graph({tag}n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def bipartition(self) -> tuple[list[int], list[int]] | None:
+        """2-color the graph if bipartite.
+
+        Returns ``(X, Y)`` with every edge crossing the sides, or
+        ``None`` when the graph contains an odd cycle.  Isolated
+        vertices are placed on the X side.
+        """
+        color = [-1] * self.n
+        for s in range(self.n):
+            if color[s] != -1:
+                continue
+            color[s] = 0
+            stack = [s]
+            while stack:
+                v = stack.pop()
+                for u, _ in self._adj[v]:
+                    if color[u] == -1:
+                        color[u] = 1 - color[v]
+                        stack.append(u)
+                    elif color[u] == color[v]:
+                        return None
+        xs = [v for v in range(self.n) if color[v] == 0]
+        ys = [v for v in range(self.n) if color[v] == 1]
+        return xs, ys
+
+    def is_bipartite(self) -> bool:
+        """Whether the graph is bipartite."""
+        return self.bipartition() is not None
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components, each a sorted vertex list."""
+        seen = [False] * self.n
+        comps: list[list[int]] = []
+        for s in range(self.n):
+            if seen[s]:
+                continue
+            seen[s] = True
+            comp = [s]
+            stack = [s]
+            while stack:
+                v = stack.pop()
+                for u, _ in self._adj[v]:
+                    if not seen[u]:
+                        seen[u] = True
+                        comp.append(u)
+                        stack.append(u)
+            comp.sort()
+            comps.append(comp)
+        return comps
+
+    def subgraph(self, keep_edges: Iterable[int]) -> "Graph":
+        """Spanning subgraph with the given edge ids (all vertices kept).
+
+        Edge ids are *renumbered* in the subgraph; weights follow their
+        edges.
+        """
+        eids = sorted(set(keep_edges))
+        edges = [self._edges[e] for e in eids]
+        weights = None
+        if self._weights is not None:
+            weights = [self._weights[e] for e in eids]
+        return Graph(self.n, edges, weights)
+
+    def with_weights(self, weights: Sequence[float]) -> "Graph":
+        """Same topology, new weights (used for the derived w_M graph)."""
+        return Graph(self.n, list(self._edges), weights)
+
+    def unweighted(self) -> "Graph":
+        """Same topology without weights."""
+        return Graph(self.n, list(self._edges))
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+
+    def edge_ids(self) -> range:
+        """All edge ids as a range."""
+        return range(self.m)
+
+    def iter_weighted_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(u, v, w)`` for every edge."""
+        for eid, (u, v) in enumerate(self._edges):
+            w = 1.0 if self._weights is None else self._weights[eid]
+            yield u, v, w

@@ -1,0 +1,60 @@
+"""Plain-text edge-list IO.
+
+Format (one record per line, ``#`` comments allowed)::
+
+    n <num_vertices>
+    e <u> <v> [weight]
+
+Weights are either present on every edge line or on none.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.graphs.graph import Graph
+
+
+def write_edgelist(g: Graph, path: str | Path) -> None:
+    """Serialize ``g`` to ``path`` in the edge-list format above."""
+    path = Path(path)
+    lines = [f"n {g.n}"]
+    for u, v, w in g.iter_weighted_edges():
+        if g.weighted:
+            lines.append(f"e {u} {v} {w!r}")
+        else:
+            lines.append(f"e {u} {v}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_edgelist(path: str | Path) -> Graph:
+    """Parse a graph written by :func:`write_edgelist`."""
+    path = Path(path)
+    n: int | None = None
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    saw_unweighted = False
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if parts[0] == "n":
+            if n is not None:
+                raise ValueError(f"{path}:{lineno}: duplicate 'n' line")
+            n = int(parts[1])
+        elif parts[0] == "e":
+            if len(parts) == 3:
+                saw_unweighted = True
+            elif len(parts) == 4:
+                weights.append(float(parts[3]))
+            else:
+                raise ValueError(f"{path}:{lineno}: malformed edge line {raw!r}")
+            edges.append((int(parts[1]), int(parts[2])))
+        else:
+            raise ValueError(f"{path}:{lineno}: unknown record {parts[0]!r}")
+    if n is None:
+        raise ValueError(f"{path}: missing 'n' line")
+    if weights and saw_unweighted:
+        raise ValueError(f"{path}: mixed weighted and unweighted edge lines")
+    return Graph(n, edges, weights if weights else None)

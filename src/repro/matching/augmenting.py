@@ -1,0 +1,273 @@
+"""Augmenting-path machinery.
+
+The paper's unweighted algorithms are built on the Hopcroft–Karp
+phase structure:
+
+* Lemma 3.4 — augmenting along a *maximal* set of shortest augmenting
+  paths strictly increases the shortest augmenting-path length;
+* Lemma 3.5 — if the shortest augmenting path has length 2k−1 then
+  ``|M| >= (1 - 1/k)|M*|``.
+
+This module provides path predicates, exhaustive enumeration of short
+augmenting paths (the node set of the conflict graph C_M(ℓ) of
+Definition 3.1), maximal-disjoint-set selection (the centralized
+reference for ``Aug(H, M, ℓ)``), and path application (``M ⊕ P``).
+
+Enumeration is exponential in ℓ — exactly as in the paper, where the
+conflict graph has ``n^O(ℓ)`` nodes — so callers keep ℓ small (ℓ =
+2k−1 for constant k).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.matching.matching import Matching
+
+Path = tuple[int, ...]
+
+
+def is_augmenting_path(g: Graph, m: Matching, path: Sequence[int]) -> bool:
+    """Whether ``path`` (a vertex sequence) is an augmenting path w.r.t. M.
+
+    Checks: simplicity, both endpoints free, edges exist, and edges
+    alternate unmatched/matched/… (so the length is odd).
+    """
+    if len(path) < 2 or len(set(path)) != len(path):
+        return False
+    if not (m.is_free(path[0]) and m.is_free(path[-1])):
+        return False
+    if len(path) % 2 != 0:  # odd number of edges => even number of vertices
+        return False
+    for i in range(len(path) - 1):
+        u, v = path[i], path[i + 1]
+        if not g.has_edge(u, v):
+            return False
+        should_be_matched = i % 2 == 1
+        if m.is_matched_edge(u, v) != should_be_matched:
+            return False
+    return True
+
+
+def _canonical(path: Sequence[int]) -> Path:
+    """Orient a path so the smaller endpoint comes first (dedup key)."""
+    p = tuple(path)
+    return p if p[0] <= p[-1] else p[::-1]
+
+
+def find_augmenting_paths_upto(g: Graph, m: Matching, max_len: int) -> list[Path]:
+    """All augmenting paths w.r.t. M of length (edges) at most ``max_len``.
+
+    These are exactly the nodes of the conflict graph ``C_M(max_len)``
+    (Definition 3.1).  Paths are returned in canonical orientation,
+    deduplicated, sorted.  Cost is exponential in ``max_len``.
+    """
+    found: set[Path] = set()
+    free = m.free_vertices()
+    for s in free:
+        # DFS over alternating simple paths starting at the free vertex s.
+        # Stack entries: (path_so_far, next_edge_must_be_matched)
+        stack: list[tuple[list[int], bool]] = [([s], False)]
+        while stack:
+            path, want_matched = stack.pop()
+            v = path[-1]
+            if len(path) - 1 >= max_len:
+                continue
+            for u in g.neighbors(v):
+                if u in path:
+                    continue
+                if m.is_matched_edge(v, u) != want_matched:
+                    continue
+                new_path = path + [u]
+                # A complete augmenting path ends at a free vertex via
+                # an unmatched edge (odd edge count).
+                if not want_matched and m.is_free(u):
+                    found.add(_canonical(new_path))
+                    # A free vertex cannot extend via a matched edge, so
+                    # this branch ends here.
+                    continue
+                stack.append((new_path, not want_matched))
+    return sorted(found)
+
+
+def shortest_augmenting_path_length(
+    g: Graph, m: Matching, upto: int | None = None
+) -> int | None:
+    """Length of the shortest augmenting path w.r.t. M, or ``None``.
+
+    For bipartite graphs this is exact (layered alternating BFS).  For
+    general graphs, alternating BFS can miss paths that re-visit a
+    vertex with the other parity (blossoms), so we fall back to
+    bounded enumeration up to ``upto`` (default 9 edges) and return the
+    exact answer within that horizon; ``None`` means "no augmenting
+    path of length <= horizon".
+    """
+    if g.is_bipartite():
+        return _bipartite_shortest_aug_len(g, m)
+    horizon = 9 if upto is None else upto
+    for length in range(1, horizon + 1, 2):
+        if find_augmenting_paths_upto(g, m, length):
+            return length
+    return None
+
+
+def _bipartite_shortest_aug_len(g: Graph, m: Matching) -> int | None:
+    """Exact shortest augmenting path length in a bipartite graph.
+
+    Standard Hopcroft–Karp layering: BFS from all free X vertices along
+    unmatched edges to Y and matched edges back to X; the first layer
+    containing a free Y vertex gives the length.
+    """
+    part = g.bipartition()
+    assert part is not None
+    xs, _ys = part
+    x_side = [False] * g.n
+    for x in xs:
+        x_side[x] = True
+
+    dist = [-1] * g.n
+    q: deque[int] = deque()
+    for v in range(g.n):
+        if x_side[v] and m.is_free(v):
+            dist[v] = 0
+            q.append(v)
+    best: int | None = None
+    while q:
+        v = q.popleft()
+        if best is not None and dist[v] >= best:
+            break
+        if x_side[v]:
+            for u in g.neighbors(v):
+                if m.is_matched_edge(v, u) or dist[u] != -1:
+                    continue
+                dist[u] = dist[v] + 1
+                if m.is_free(u):
+                    if best is None or dist[u] < best:
+                        best = dist[u]
+                else:
+                    q.append(u)
+        else:
+            u = m.mate(v)
+            if u != -1 and dist[u] == -1:
+                dist[u] = dist[v] + 1
+                q.append(u)
+    return best
+
+
+def augmenting_paths_maximal_set(
+    g: Graph,
+    m: Matching,
+    max_len: int,
+    rng: np.random.Generator | None = None,
+) -> list[Path]:
+    """A maximal set of vertex-disjoint augmenting paths of length <= max_len.
+
+    Centralized reference implementation of the paper's ``Aug(H, M, ℓ)``
+    subroutine (Section 3.3): enumerate candidates, then greedily keep
+    paths that do not touch previously used vertices.  With an ``rng``
+    the scan order is shuffled (matching the randomized distributed
+    selection); otherwise the order is deterministic (sorted).
+
+    Maximality: every augmenting path of length <= max_len shares a
+    vertex with a selected path — the defining property used by
+    Lemma 3.9's (k+1)-intersection argument.
+    """
+    candidates = find_augmenting_paths_upto(g, m, max_len)
+    if rng is not None:
+        order = list(candidates)
+        rng.shuffle(order)
+        candidates = order
+    used = [False] * g.n
+    chosen: list[Path] = []
+    for p in candidates:
+        if any(used[v] for v in p):
+            continue
+        chosen.append(p)
+        for v in p:
+            used[v] = True
+    return chosen
+
+
+def apply_paths(m: Matching, paths: Iterable[Sequence[int]]) -> Matching:
+    """``M ⊕ (union of paths)`` with vertex-disjointness validation.
+
+    Implements step 7 of Algorithm 1.  Raises ``ValueError`` when two
+    paths share a vertex or a path is not augmenting w.r.t. M — the
+    situation Algorithm 1's MIS step is there to prevent.
+    """
+    used: set[int] = set()
+    edges: list[tuple[int, int]] = []
+    for p in paths:
+        if not is_augmenting_path(m.graph, m, p):
+            raise ValueError(f"not an augmenting path w.r.t. M: {tuple(p)}")
+        overlap = used.intersection(p)
+        if overlap:
+            raise ValueError(f"paths conflict at vertices {sorted(overlap)}")
+        used.update(p)
+        edges.extend((p[i], p[i + 1]) for i in range(len(p) - 1))
+    return m.symmetric_difference(edges)
+
+
+def symmetric_difference_components(
+    m: Matching, m_star: Matching
+) -> list[dict]:
+    """Decompose ``M ⊕ M*`` into alternating paths and cycles.
+
+    Used by the Lemma 3.9 analysis benches: the decomposition's
+    augmenting paths (w.r.t. M) of length <= 2k−1 are the set P* whose
+    size lower-bounds the progress of Algorithm 4.
+
+    Returns a list of ``{"kind": "path"|"cycle", "vertices": [...],
+    "augmenting": bool}`` records, ``augmenting`` meaning augmenting
+    w.r.t. ``m``.
+    """
+    g = m.graph
+    in_m = {tuple(sorted(e)) for e in m.edges()}
+    in_s = {tuple(sorted(e)) for e in m_star.edges()}
+    sym = in_m.symmetric_difference(in_s)
+    adj: dict[int, list[int]] = {}
+    for u, v in sym:
+        adj.setdefault(u, []).append(v)
+        adj.setdefault(v, []).append(u)
+    seen: set[int] = set()
+    comps: list[dict] = []
+    # Every vertex of M ⊕ M* has degree 1 or 2, so each component is a
+    # path or a cycle.  Pass 1: walk paths from their degree-1 endpoints.
+    for start in sorted(adj):
+        if start in seen or len(adj[start]) != 1:
+            continue
+        verts = [start]
+        seen.add(start)
+        prev, cur = start, adj[start][0]
+        while True:
+            verts.append(cur)
+            seen.add(cur)
+            nxts = [w for w in adj[cur] if w != prev]
+            if not nxts:
+                break
+            prev, cur = cur, nxts[0]
+        comps.append(
+            {
+                "kind": "path",
+                "vertices": verts,
+                "augmenting": is_augmenting_path(g, m, verts),
+            }
+        )
+    # Pass 2: everything unseen lies on cycles.
+    for start in sorted(adj):
+        if start in seen:
+            continue
+        verts = [start]
+        seen.add(start)
+        prev, cur = start, adj[start][0]
+        while cur != start:
+            verts.append(cur)
+            seen.add(cur)
+            nxts = [w for w in adj[cur] if w != prev]
+            prev, cur = cur, nxts[0]
+        comps.append({"kind": "cycle", "vertices": verts, "augmenting": False})
+    return comps

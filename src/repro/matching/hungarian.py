@@ -1,0 +1,119 @@
+"""Hungarian algorithm (Jonker–Volgenant style) for exact bipartite MWM.
+
+From-scratch exact maximum *weight* bipartite matching, complementing
+Hopcroft–Karp (cardinality) and the bitmask DP (small general graphs).
+Used as the weighted oracle for bipartite experiments — notably the
+occupancy-weighted switch schedules — without relying on networkx.
+
+Method: pad to a square cost matrix (missing edges and padding rows
+cost 0 — a maximum-weight matching extends to a perfect matching of
+the padded instance with zero-value edges), minimize cost = −weight by
+the O(n³) shortest-augmenting-path formulation with dual potentials,
+then drop the zero-value pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.matching.matching import Matching
+
+_INF = float("inf")
+
+
+def solve_assignment(cost: np.ndarray) -> list[int]:
+    """Minimum-cost perfect assignment of a square matrix.
+
+    Returns ``col_of[row]``.  Classical JV: insert rows one at a time,
+    each via a Dijkstra-like search over reduced costs; potentials keep
+    all reduced costs non-negative, so each insertion is O(n²).
+    """
+    cost = np.asarray(cost, dtype=float)
+    n, m = cost.shape
+    if n != m:
+        raise ValueError("assignment needs a square matrix")
+    # 1-based internal arrays; row_of[col], col_of[row].
+    u = np.zeros(n + 1)  # row potentials (index 1..n)
+    v = np.zeros(n + 1)  # column potentials
+    row_of = np.zeros(n + 1, dtype=int)  # matched row per column (0 = none)
+    way = np.zeros(n + 1, dtype=int)
+
+    for i in range(1, n + 1):
+        # Find an augmenting path for row i over columns (0 = virtual).
+        row_of[0] = i
+        j0 = 0
+        minv = np.full(n + 1, _INF)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = row_of[j0]
+            delta = _INF
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                cur = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[row_of[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if row_of[j0] == 0:
+                break
+        # Trace the augmenting path back.
+        while j0:
+            j1 = way[j0]
+            row_of[j0] = row_of[j1]
+            j0 = j1
+
+    col_of = [0] * n
+    for j in range(1, n + 1):
+        if row_of[j]:
+            col_of[row_of[j] - 1] = j - 1
+    return col_of
+
+
+def hungarian_mwm(
+    g: Graph, xs: list[int] | None = None
+) -> Matching:
+    """Exact maximum weight matching of a bipartite graph, O(n³).
+
+    ``xs`` optionally names one side.  Vertices may remain unmatched
+    (this is MWM, not perfect-matching assignment): only pairs with
+    positive weight are kept.
+    """
+    if xs is None:
+        part = g.bipartition()
+        if part is None:
+            raise ValueError("graph is not bipartite")
+        xs = part[0]
+    x_set = set(xs)
+    ys = [v for v in range(g.n) if v not in x_set]
+    nx_, ny_ = len(xs), len(ys)
+    size = max(nx_, ny_)
+    m = Matching(g)
+    if size == 0 or g.m == 0:
+        return m
+    x_index = {x: i for i, x in enumerate(xs)}
+    y_index = {y: j for j, y in enumerate(ys)}
+    cost = np.zeros((size, size))
+    for u, v, w in g.iter_weighted_edges():
+        if u in x_set:
+            cost[x_index[u], y_index[v]] = -w
+        else:
+            cost[x_index[v], y_index[u]] = -w
+    col_of = solve_assignment(cost)
+    for i, x in enumerate(xs):
+        j = col_of[i]
+        if j < ny_ and cost[i, j] < 0:
+            m.add(x, ys[j])
+    return m

@@ -1,0 +1,141 @@
+"""The :class:`Matching` data structure.
+
+Section 2 of the paper: ``M ⊆ E`` is a matching, a vertex is *free*
+w.r.t. M if no M edge is incident to it, and ``A ⊕ B`` is the symmetric
+difference.  This module gives those notions a concrete, validated
+representation used by every algorithm in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graphs.graph import Graph
+
+
+class Matching:
+    """A matching in a :class:`~repro.graphs.Graph`.
+
+    Stored as a mate array: ``mate[v]`` is the partner of ``v`` or
+    ``-1``.  Construction validates disjointness and edge existence, so
+    an instance is a matching *by construction* — algorithms can't
+    accidentally return overlapping edges.
+    """
+
+    __slots__ = ("graph", "_mate", "_size")
+
+    def __init__(self, graph: Graph, edges: Iterable[tuple[int, int]] = ()) -> None:
+        self.graph = graph
+        self._mate = [-1] * graph.n
+        self._size = 0
+        for u, v in edges:
+            self.add(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, u: int, v: int) -> None:
+        """Add edge ``(u, v)``; raises if it's absent or conflicts."""
+        if not self.graph.has_edge(u, v):
+            raise ValueError(f"({u},{v}) is not an edge of the graph")
+        if self._mate[u] != -1:
+            raise ValueError(f"vertex {u} already matched to {self._mate[u]}")
+        if self._mate[v] != -1:
+            raise ValueError(f"vertex {v} already matched to {self._mate[v]}")
+        self._mate[u] = v
+        self._mate[v] = u
+        self._size += 1
+
+    def remove(self, u: int, v: int) -> None:
+        """Remove edge ``(u, v)``; raises if it's not in the matching."""
+        if self._mate[u] != v or self._mate[v] != u:
+            raise ValueError(f"({u},{v}) not in matching")
+        self._mate[u] = -1
+        self._mate[v] = -1
+        self._size -= 1
+
+    # ------------------------------------------------------------------
+    # Queries (paper notation)
+    # ------------------------------------------------------------------
+
+    def mate(self, v: int) -> int:
+        """``M(v)``: the partner of ``v``, or -1 when ``v`` is free."""
+        return self._mate[v]
+
+    def is_free(self, v: int) -> bool:
+        """Whether ``v`` is free w.r.t. M (Section 2)."""
+        return self._mate[v] == -1
+
+    def is_matched_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v) ∈ M``."""
+        return self._mate[u] == v
+
+    def free_vertices(self) -> list[int]:
+        """All free vertices."""
+        return [v for v in range(self.graph.n) if self._mate[v] == -1]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        u, v = edge
+        return 0 <= u < self.graph.n and self._mate[u] == v
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Matching edges as ``(u, v)`` with ``u < v``, sorted."""
+        out = []
+        for v, m in enumerate(self._mate):
+            if m > v:
+                out.append((v, m))
+        return out
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.edges())
+
+    def weight(self) -> float:
+        """``w(M)``: total weight (cardinality on unweighted graphs)."""
+        return sum(self.graph.weight(u, v) for u, v in self.edges())
+
+    def copy(self) -> "Matching":
+        """Independent copy sharing the (immutable) graph."""
+        m = Matching(self.graph)
+        m._mate = list(self._mate)
+        m._size = self._size
+        return m
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return self.graph is other.graph and self._mate == other._mate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Matching(size={self._size}, n={self.graph.n})"
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+
+    def symmetric_difference(self, edges: Iterable[tuple[int, int]]) -> "Matching":
+        """``M ⊕ P`` for an edge set P, validated to yield a matching.
+
+        This is the augmentation primitive of Algorithm 1 step 7 and
+        Algorithm 5 step 5.  The caller must supply a P for which M ⊕ P
+        is a matching (e.g. a union of vertex-disjoint augmenting
+        paths); otherwise ``ValueError`` propagates from :meth:`add`.
+        """
+        cur = {tuple(sorted(e)) for e in self.edges()}
+        for e in edges:
+            key = tuple(sorted(e))
+            if key in cur:
+                cur.remove(key)
+            else:
+                cur.add(key)
+        return Matching(self.graph, sorted(cur))
+
+    def is_maximal(self) -> bool:
+        """Whether no edge of G has both endpoints free."""
+        for u, v in self.graph.edges():
+            if self._mate[u] == -1 and self._mate[v] == -1:
+                return False
+        return True

@@ -1,0 +1,33 @@
+"""Convenience oracles used by benchmarks and tests.
+
+Single entry points that pick the right exact algorithm for the
+instance: Hopcroft–Karp on bipartite graphs, blossom on general graphs,
+and the weighted oracles of :mod:`repro.matching.exact_mwm`.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+from repro.matching.blossom import maximum_matching_blossom
+from repro.matching.exact_mwm import exact_mwm_small, max_weight_matching
+from repro.matching.hopcroft_karp import hopcroft_karp
+
+
+def maximum_matching_size(g: Graph) -> int:
+    """|M*|: maximum cardinality matching size (exact)."""
+    if g.is_bipartite():
+        return len(hopcroft_karp(g))
+    return len(maximum_matching_blossom(g))
+
+
+def maximum_matching_weight(g: Graph) -> float:
+    """w(M*): maximum weight matching value (exact).
+
+    Uses the in-house bitmask DP when the graph is small enough,
+    otherwise the networkx weighted-blossom oracle.
+    """
+    if not g.weighted:
+        return float(maximum_matching_size(g))
+    if g.n <= 22:
+        return exact_mwm_small(g).weight()
+    return max_weight_matching(g).weight()

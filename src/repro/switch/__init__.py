@@ -1,0 +1,47 @@
+"""Input-queued switch simulation — the paper's motivating application.
+
+Section 1: "An important example is internal scheduling of a
+communication switch: ... the scheduling routine tries to find the
+largest possible matching between the input ports and the output
+ports."  This subpackage builds that system end-to-end: virtual output
+queues, traffic generation, a cell-slot loop, and scheduler adapters
+for PIM, iSLIP, Israeli–Itai and the paper's bipartite (1−1/k)-MCM, so
+experiment E8 can compare their throughput and delay.
+"""
+
+from repro.switch.fabric import Switch, SwitchStats
+from repro.switch.traffic import (
+    TrafficGenerator,
+    bernoulli_uniform,
+    bursty,
+    diagonal,
+    hotspot,
+)
+from repro.switch.schedulers import (
+    GreedyMaximalScheduler,
+    IslipAdapter,
+    MaxWeightScheduler,
+    PaperScheduler,
+    PimScheduler,
+    Scheduler,
+    WeightedPaperScheduler,
+)
+from repro.switch.simulator import run_switch
+
+__all__ = [
+    "Switch",
+    "SwitchStats",
+    "TrafficGenerator",
+    "bernoulli_uniform",
+    "bursty",
+    "diagonal",
+    "hotspot",
+    "Scheduler",
+    "PimScheduler",
+    "IslipAdapter",
+    "GreedyMaximalScheduler",
+    "PaperScheduler",
+    "MaxWeightScheduler",
+    "WeightedPaperScheduler",
+    "run_switch",
+]

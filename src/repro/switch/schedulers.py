@@ -1,0 +1,209 @@
+"""Scheduler adapters: one call per cell slot, returning a matching.
+
+Schedulers under comparison in experiment E8:
+
+* :class:`PimScheduler` — PIM [3];
+* :class:`IslipAdapter` — iSLIP [23];
+* :class:`GreedyMaximalScheduler` — a random maximal matching per slot
+  (the quality Israeli–Itai converges to; ½-MCM worst case);
+* :class:`PaperScheduler` — the paper's bipartite (1−1/k)-MCM.  By
+  default it uses the truncated-Hopcroft–Karp *reference* (identical
+  guarantee and output quality as Theorem 3.8, Lemmas 3.4/3.5) so that
+  thousand-slot simulations stay fast; ``distributed=True`` runs the
+  actual Section 3.2 protocol per slot (small port counts);
+* :class:`MaxSizeScheduler` — exact maximum matching per slot (the
+  upper bound on per-slot quality).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.baselines.islip import IslipScheduler
+from repro.baselines.pim import pim_schedule
+from repro.core.bipartite_mcm import bipartite_mcm
+from repro.graphs.graph import Graph
+from repro.matching.hopcroft_karp import hopcroft_karp, hopcroft_karp_truncated
+
+
+class Scheduler(Protocol):
+    """Per-slot scheduling interface."""
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        """Return matched (input, output) pairs for this slot."""
+        ...
+
+
+def _demand_graph(demand: list[set[int]], ports: int) -> tuple[Graph, list[int]]:
+    """Bipartite demand graph: inputs 0..N-1, outputs N..2N-1."""
+    edges = [(i, ports + j) for i, outs in enumerate(demand) for j in sorted(outs)]
+    return Graph(2 * ports, edges), list(range(ports))
+
+
+class PimScheduler:
+    """PIM with its customary ⌈log₂N⌉+2 iterations."""
+
+    def __init__(self, ports: int, seed: int = 0, iterations: int | None = None):
+        self.ports = ports
+        self.rng = np.random.default_rng(seed)
+        self.iterations = iterations
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        return pim_schedule(demand, self.ports, self.rng, self.iterations)
+
+
+class IslipAdapter:
+    """iSLIP with persistent round-robin pointers."""
+
+    def __init__(self, ports: int, iterations: int = 4):
+        self.inner = IslipScheduler(ports, ports, iterations)
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        return self.inner.schedule(demand)
+
+
+class GreedyMaximalScheduler:
+    """Random-order maximal matching per slot (½-MCM worst case)."""
+
+    def __init__(self, ports: int, seed: int = 0):
+        self.ports = ports
+        self.rng = np.random.default_rng(seed)
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        pairs = [(i, j) for i, outs in enumerate(demand) for j in outs]
+        self.rng.shuffle(pairs)
+        in_free = [True] * self.ports
+        out_free = [True] * self.ports
+        out = []
+        for i, j in pairs:
+            if in_free[i] and out_free[j]:
+                in_free[i] = False
+                out_free[j] = False
+                out.append((i, j))
+        return out
+
+
+class PaperScheduler:
+    """The paper's (1−1/k)-MCM as a switch scheduler.
+
+    ``distributed=True`` runs the real Section 3.2 message-passing
+    protocol every slot; the default uses the truncated-HK reference
+    with the identical (1−1/k) guarantee (DESIGN.md §6.3).
+    """
+
+    def __init__(self, ports: int, k: int = 3, seed: int = 0, distributed: bool = False):
+        self.ports = ports
+        self.k = k
+        self.seed = seed
+        self.distributed = distributed
+        self._slot_seq = np.random.SeedSequence(seed)
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        g, xs = _demand_graph(demand, self.ports)
+        if self.distributed:
+            m, _res = bipartite_mcm(
+                g,
+                self.k,
+                xs=xs,
+                seed=int(self._slot_seq.spawn(1)[0].generate_state(1)[0]),
+            )
+        else:
+            m = hopcroft_karp_truncated(g, self.k, xs=xs)
+        return [(u, v - self.ports) for u, v in m.edges()]
+
+
+class MaxSizeScheduler:
+    """Exact maximum matching per slot (quality upper bound)."""
+
+    def __init__(self, ports: int):
+        self.ports = ports
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        g, xs = _demand_graph(demand, self.ports)
+        m = hopcroft_karp(g, xs=xs)
+        return [(u, v - self.ports) for u, v in m.edges()]
+
+
+def _weighted_demand_graph(
+    weights: list[dict[int, float]], ports: int
+) -> Graph:
+    """Bipartite demand graph weighted by queue occupancy."""
+    edges, ws = [], []
+    for i, row in enumerate(weights):
+        for j in sorted(row):
+            if row[j] > 0:
+                edges.append((i, ports + j))
+                ws.append(float(row[j]))
+    return Graph(2 * ports, edges, ws)
+
+
+class WeightedScheduler(Protocol):
+    """Schedulers that consume per-VOQ weights (queue lengths)."""
+
+    def schedule_weighted(
+        self, weights: list[dict[int, float]], slot: int
+    ) -> list[tuple[int, int]]:
+        """Return matched pairs given ``weights[i][j]`` = occupancy."""
+        ...
+
+
+class MaxWeightScheduler:
+    """Exact max-*weight* matching on queue lengths per slot.
+
+    The classical 100%-throughput scheduler (MWM on occupancies) — the
+    weighted side of the paper's story: Section 4's algorithms are the
+    distributed approximations of exactly this schedule.
+    """
+
+    def __init__(self, ports: int):
+        self.ports = ports
+
+    def schedule_weighted(
+        self, weights: list[dict[int, float]], slot: int
+    ) -> list[tuple[int, int]]:
+        from repro.matching.exact_mwm import max_weight_matching
+
+        g = _weighted_demand_graph(weights, self.ports)
+        if g.m == 0:
+            return []
+        m = max_weight_matching(g)
+        return [(u, v - self.ports) for u, v in m.edges()]
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        """Unweighted adapter: treat every backlogged VOQ as weight 1."""
+        return self.schedule_weighted(
+            [{j: 1.0 for j in outs} for outs in demand], slot
+        )
+
+
+class WeightedPaperScheduler:
+    """Algorithm 5's (½−ε)-MWM on queue lengths, as a switch scheduler.
+
+    Uses the sequential reference (greedy black box) for speed; the
+    guarantee transfers: the scheduled matching always carries at
+    least (½−ε) of the maximum total queue weight, the property the
+    stability literature needs from approximate MWM schedulers.
+    """
+
+    def __init__(self, ports: int, eps: float = 0.1):
+        self.ports = ports
+        self.eps = eps
+
+    def schedule_weighted(
+        self, weights: list[dict[int, float]], slot: int
+    ) -> list[tuple[int, int]]:
+        from repro.core.weighted_mwm import weighted_mwm_reference
+
+        g = _weighted_demand_graph(weights, self.ports)
+        if g.m == 0:
+            return []
+        m, _ = weighted_mwm_reference(g, eps=self.eps)
+        return [(u, v - self.ports) for u, v in m.edges()]
+
+    def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
+        """Unweighted adapter: weight-1 VOQs."""
+        return self.schedule_weighted(
+            [{j: 1.0 for j in outs} for outs in demand], slot
+        )

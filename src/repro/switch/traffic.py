@@ -1,0 +1,121 @@
+"""Traffic models for the switch experiments.
+
+The standard admissible patterns from the iSLIP literature:
+
+* ``bernoulli_uniform`` — each input receives a cell per slot with
+  probability ``load``, destination uniform over outputs;
+* ``diagonal`` — input i sends to outputs i (2/3 of its traffic) and
+  i+1 mod N (1/3): a skewed but admissible pattern that separates
+  round-robin schedulers from random ones;
+* ``hotspot`` — a fraction of all traffic converges on output 0
+  (inadmissible beyond load 1/hot_fraction on that output; used to
+  study saturation behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+#: a traffic generator yields (input, output) arrivals for a given slot
+TrafficGenerator = Callable[[int], list[tuple[int, int]]]
+
+
+def bernoulli_uniform(
+    ports: int, load: float, seed: int = 0
+) -> TrafficGenerator:
+    """IID Bernoulli arrivals, uniformly random destinations."""
+    if not 0 <= load <= 1:
+        raise ValueError("load must be in [0,1]")
+    rng = np.random.default_rng(seed)
+
+    def gen(_slot: int) -> list[tuple[int, int]]:
+        arrivals = []
+        hits = rng.random(ports) < load
+        dests = rng.integers(0, ports, size=ports)
+        for i in range(ports):
+            if hits[i]:
+                arrivals.append((i, int(dests[i])))
+        return arrivals
+
+    return gen
+
+
+def diagonal(ports: int, load: float, seed: int = 0) -> TrafficGenerator:
+    """2/3 of input i's cells to output i, 1/3 to output i+1 (mod N)."""
+    rng = np.random.default_rng(seed)
+
+    def gen(_slot: int) -> list[tuple[int, int]]:
+        arrivals = []
+        hits = rng.random(ports) < load
+        offs = rng.random(ports) < (1.0 / 3.0)
+        for i in range(ports):
+            if hits[i]:
+                j = (i + 1) % ports if offs[i] else i
+                arrivals.append((i, j))
+        return arrivals
+
+    return gen
+
+
+def bursty(
+    ports: int,
+    load: float,
+    burst_len: float = 16.0,
+    seed: int = 0,
+) -> TrafficGenerator:
+    """On/off (two-state Markov) bursty arrivals per input.
+
+    Each input alternates between an ON state — one cell per slot, all
+    to a destination fixed for the burst — and an OFF state.  Mean
+    burst length is ``burst_len`` slots; OFF lengths are set so the
+    long-run arrival rate is ``load``.  Bursts of same-destination
+    cells are the standard stress for round-robin schedulers.
+    """
+    if not 0 < load < 1:
+        raise ValueError("bursty load must be in (0,1)")
+    if burst_len < 1:
+        raise ValueError("burst_len must be >= 1")
+    rng = np.random.default_rng(seed)
+    p_off = 1.0 / burst_len  # ON -> OFF
+    # stationary ON fraction = load  =>  p_on chosen accordingly.
+    p_on = p_off * load / (1.0 - load)
+    state_on = rng.random(ports) < load
+    dest = rng.integers(0, ports, size=ports)
+
+    def gen(_slot: int) -> list[tuple[int, int]]:
+        arrivals = []
+        for i in range(ports):
+            if state_on[i]:
+                arrivals.append((i, int(dest[i])))
+                if rng.random() < p_off:
+                    state_on[i] = False
+            else:
+                if rng.random() < p_on:
+                    state_on[i] = True
+                    dest[i] = rng.integers(0, ports)
+        return arrivals
+
+    return gen
+
+
+def hotspot(
+    ports: int, load: float, hot_fraction: float = 0.5, seed: int = 0
+) -> TrafficGenerator:
+    """``hot_fraction`` of cells go to output 0, the rest uniform."""
+    if not 0 <= hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in [0,1]")
+    rng = np.random.default_rng(seed)
+
+    def gen(_slot: int) -> list[tuple[int, int]]:
+        arrivals = []
+        hits = rng.random(ports) < load
+        hot = rng.random(ports) < hot_fraction
+        dests = rng.integers(0, ports, size=ports)
+        for i in range(ports):
+            if hits[i]:
+                arrivals.append((i, 0 if hot[i] else int(dests[i])))
+        return arrivals
+
+    return gen

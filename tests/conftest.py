@@ -1,0 +1,84 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, gnp_random
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3 — smallest odd cycle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def p4() -> Graph:
+    """Path on 4 vertices — the smallest graph with a 3-augmenting path."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def small_random() -> Graph:
+    """A fixed small sparse random graph used across modules."""
+    return gnp_random(30, 0.12, seed=42)
+
+
+@pytest.fixture
+def weighted_square() -> Graph:
+    """4-cycle with distinct weights — canonical weighted toy."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)], [4.0, 1.0, 3.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def graphs(draw, max_n: int = 12, weighted: bool = False):
+    """Random small :class:`Graph` instances for property tests."""
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))) if possible else []
+    weights = None
+    if weighted and edges:
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+                min_size=len(edges),
+                max_size=len(edges),
+            )
+        )
+    return Graph(n, edges, weights)
+
+
+@st.composite
+def bipartite_graphs(draw, max_side: int = 7):
+    """Random small bipartite graphs; returns (graph, xs, ys)."""
+    nx = draw(st.integers(min_value=1, max_value=max_side))
+    ny = draw(st.integers(min_value=1, max_value=max_side))
+    possible = [(x, nx + y) for x in range(nx) for y in range(ny)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+    return Graph(nx + ny, edges), list(range(nx)), list(range(nx, nx + ny))
+
+
+@st.composite
+def matchable(draw, max_n: int = 12):
+    """A (graph, matching-edge-list) pair where the edges form a matching."""
+    g = draw(graphs(max_n=max_n))
+    chosen = []
+    used: set[int] = set()
+    for u, v in g.edges():
+        if u not in used and v not in used and draw(st.booleans()):
+            chosen.append((u, v))
+            used.update((u, v))
+    return g, chosen
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    """Deterministic RNG helper for non-hypothesis tests."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,55 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.analysis.report import (
+    ReportRow,
+    collect_unweighted,
+    collect_weighted,
+    generate_report,
+    render_markdown,
+)
+
+
+class TestCollect:
+    def test_unweighted_guarantees_hold(self):
+        rows = collect_unweighted(seed=1)
+        assert rows
+        for r in rows:
+            bound = {"1/2": 0.5, "2/3": 2 / 3}[r.guarantee]
+            assert r.ratio >= bound - 1e-9, (r.algorithm, r.instance)
+
+    def test_weighted_guarantees_hold(self):
+        rows = collect_weighted(seed=1)
+        assert rows
+        bounds = {"1/2": 0.5, "1/4-eps": 0.25, "~1/4": 0.25, "1/2-eps": 0.4}
+        for r in rows:
+            assert r.ratio >= bounds[r.guarantee] - 1e-9, r.algorithm
+
+    def test_every_algorithm_on_every_instance(self):
+        rows = collect_unweighted(seed=2)
+        by_algo: dict[str, set] = {}
+        for r in rows:
+            by_algo.setdefault(r.algorithm, set()).add(r.instance)
+        # general_mcm runs everywhere; bipartite only on bipartite ones.
+        assert len(by_algo["general_mcm (Thm 3.11)"]) == 4
+        assert len(by_algo["Israeli-Itai [15]"]) == 4
+
+
+class TestRender:
+    def test_markdown_structure(self):
+        rows = [ReportRow("algo", "1/2", "inst", 0.9, 10, 8)]
+        md = render_markdown(rows, rows, seed=7)
+        assert md.startswith("# Reproduction snapshot")
+        assert "Seed 7" in md
+        assert "algo" in md and "0.900" in md
+
+    def test_generate_writes_file(self, tmp_path):
+        out = tmp_path / "r.md"
+        md = generate_report(out, seed=3)
+        assert out.read_text() == md
+        assert "Unweighted" in md and "Weighted" in md
+
+    def test_generate_without_path(self):
+        md = generate_report(seed=3)
+        assert "# Reproduction snapshot" in md

@@ -1,0 +1,105 @@
+"""Tests for deterministic Cole–Vishkin coloring + ring matching."""
+
+import math
+
+import pytest
+
+from repro.baselines.cole_vishkin import (
+    _cv_step,
+    cv_steps_needed,
+    ring_coloring,
+    ring_maximal_matching,
+)
+from repro.graphs import Graph, cycle_graph, path_graph
+
+
+class TestCvStep:
+    def test_reduces_bits(self):
+        # colors with 10 bits -> at most 2*9+1
+        c = _cv_step(0b1010101010, 0b1010101000)
+        assert c <= 2 * 9 + 1
+
+    def test_preserves_properness_around_ring(self):
+        """A synchronous CV step on a properly colored oriented ring
+        yields a proper coloring again (the classical invariant)."""
+        colors = [7, 12, 33, 90, 41, 6]
+        n = len(colors)
+        assert all(colors[i] != colors[(i + 1) % n] for i in range(n))
+        new = [_cv_step(colors[i], colors[(i - 1) % n]) for i in range(n)]
+        assert all(new[i] != new[(i + 1) % n] for i in range(n))
+
+    def test_identical_colors_rejected(self):
+        with pytest.raises(ValueError):
+            _cv_step(5, 5)
+
+
+class TestStepsNeeded:
+    def test_log_star_growth(self):
+        assert cv_steps_needed(8) <= 4
+        assert cv_steps_needed(10**6) <= 6
+        assert cv_steps_needed(10**18) <= 7  # log* flatness
+
+    def test_monotone(self):
+        vals = [cv_steps_needed(n) for n in (4, 16, 256, 65536)]
+        assert vals == sorted(vals)
+
+
+class TestRingColoring:
+    @pytest.mark.parametrize("n", [3, 4, 5, 7, 16, 100, 513])
+    def test_proper_three_coloring(self, n):
+        colors, _ = ring_coloring(cycle_graph(n))
+        for v in range(n):
+            assert colors[v] in (0, 1, 2)
+            assert colors[v] != colors[(v + 1) % n]
+
+    def test_deterministic(self):
+        a, _ = ring_coloring(cycle_graph(50))
+        b, _ = ring_coloring(cycle_graph(50))
+        assert a == b
+
+    def test_log_star_rounds(self):
+        _, small = ring_coloring(cycle_graph(8))
+        _, large = ring_coloring(cycle_graph(4096))
+        # log*-ish: three orders of magnitude in n cost a few rounds.
+        assert large.rounds <= small.rounds + 4
+
+    def test_non_ring_rejected(self):
+        with pytest.raises(ValueError, match="not the canonical ring"):
+            ring_coloring(path_graph(5))
+        with pytest.raises(ValueError, match="n >= 3"):
+            ring_coloring(Graph(2, [(0, 1)]))
+
+    def test_message_bits_shrink_with_colors(self):
+        _, res = ring_coloring(cycle_graph(1000))
+        # first round carries raw ids (~10 bits); bound stays small
+        assert res.max_message_bits <= 16
+
+
+class TestRingMatching:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 9, 64, 255])
+    def test_maximal(self, n):
+        m, _ = ring_maximal_matching(cycle_graph(n))
+        assert m.is_maximal()
+        assert len(m) >= n // 3  # any maximal matching on a cycle
+
+    def test_even_ring_near_perfect(self):
+        m, _ = ring_maximal_matching(cycle_graph(64))
+        assert len(m) >= 64 // 3
+
+    def test_deterministic(self):
+        a, _ = ring_maximal_matching(cycle_graph(40))
+        b, _ = ring_maximal_matching(cycle_graph(40))
+        assert a.edges() == b.edges()
+
+    def test_rounds_essentially_constant(self):
+        _, r1 = ring_maximal_matching(cycle_graph(16))
+        _, r2 = ring_maximal_matching(cycle_graph(2048))
+        assert r2.rounds <= r1.rounds + 4
+
+    def test_half_approximation(self):
+        from repro.matching import maximum_matching_size
+
+        for n in (7, 12, 33):
+            g = cycle_graph(n)
+            m, _ = ring_maximal_matching(g)
+            assert 2 * len(m) >= maximum_matching_size(g)

@@ -1,0 +1,50 @@
+"""Tests for the deterministic locally-heaviest-edge ½-MWM."""
+
+import pytest
+
+from repro.baselines import hoepman_mwm
+from repro.graphs import Graph, gnp_random, path_graph
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import maximum_matching_weight
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_half_guarantee(self, seed):
+        g = assign_uniform_weights(gnp_random(40, 0.15, seed=seed), seed=seed)
+        m, _ = hoepman_mwm(g)
+        assert 2 * m.weight() >= maximum_matching_weight(g) - 1e-9
+
+    def test_globally_heaviest_edge_always_matched(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [1.0, 9.0, 1.0])
+        m, _ = hoepman_mwm(g)
+        assert (1, 2) in m
+
+    def test_path_alternating_weights(self):
+        g = path_graph(6).with_weights([5.0, 1.0, 5.0, 1.0, 5.0])
+        m, _ = hoepman_mwm(g)
+        assert m.weight() == 15.0
+
+    def test_maximality(self):
+        g = assign_uniform_weights(gnp_random(30, 0.2, seed=9), seed=9)
+        m, _ = hoepman_mwm(g)
+        assert m.is_maximal()
+
+    def test_fully_deterministic(self):
+        g = assign_uniform_weights(gnp_random(30, 0.2, seed=10), seed=10)
+        assert hoepman_mwm(g)[0] == hoepman_mwm(g)[0]
+
+    def test_equal_weights_tie_break(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [2.0, 2.0, 2.0])
+        m, _ = hoepman_mwm(g)
+        # ties broken by endpoint ids: (0,1) preferred, then (2,3)
+        assert m.edges() == [(0, 1), (2, 3)]
+
+    def test_unweighted_rejected(self):
+        with pytest.raises(ValueError):
+            hoepman_mwm(path_graph(3))
+
+    def test_rounds_bounded_by_n(self):
+        g = assign_uniform_weights(gnp_random(50, 0.1, seed=11), seed=11)
+        _, res = hoepman_mwm(g)
+        assert res.rounds <= 2 * g.n  # O(n) worst case, 2 rounds/phase

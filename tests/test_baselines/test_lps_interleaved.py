@@ -1,0 +1,79 @@
+"""Tests for the interleaved weight-class matching variant."""
+
+import math
+
+import pytest
+
+from repro.baselines.lps_interleaved import lps_interleaved_mwm
+from repro.baselines.lps_mwm import lps_mwm
+from repro.graphs import Graph, gnp_random, path_graph
+from repro.graphs.weights import (
+    assign_exponential_weights,
+    assign_uniform_weights,
+)
+from repro.matching import maximum_matching_weight
+
+
+class TestQuality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_quarter_style_quality(self, seed):
+        g = assign_uniform_weights(gnp_random(50, 0.12, seed=seed), seed=seed)
+        m, _ = lps_interleaved_mwm(g, seed=seed)
+        opt = maximum_matching_weight(g)
+        assert m.weight() >= 0.25 * opt - 1e-9
+
+    def test_heavy_tail(self):
+        g = assign_exponential_weights(gnp_random(40, 0.15, seed=7), seed=7)
+        m, _ = lps_interleaved_mwm(g, seed=7)
+        assert m.weight() >= 0.25 * maximum_matching_weight(g) - 1e-9
+
+    def test_heaviest_class_edge_always_served(self):
+        """A uniquely heaviest, isolated-in-its-class edge must match."""
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [1.0, 100.0, 1.0])
+        m, _ = lps_interleaved_mwm(g, seed=1)
+        assert (1, 2) in m
+
+    def test_maximality_within_classes(self):
+        """Result is maximal: any uncovered edge would keep both
+        endpoints active forever."""
+        g = assign_uniform_weights(gnp_random(30, 0.2, seed=3), seed=3)
+        m, _ = lps_interleaved_mwm(g, seed=3)
+        assert m.is_maximal()
+
+
+class TestRounds:
+    def test_faster_than_sequential(self):
+        """The point of interleaving: rounds ~ O(log n), not
+        O(log W · log n)."""
+        g = assign_uniform_weights(gnp_random(80, 0.08, seed=4), seed=4)
+        _, inter = lps_interleaved_mwm(g, seed=4)
+        _, seq = lps_mwm(g, seed=4)
+        assert inter.rounds < seq.rounds / 3
+
+    def test_log_round_growth(self):
+        for n in (64, 256):
+            g = assign_uniform_weights(gnp_random(n, 8.0 / n, seed=n), seed=n)
+            _, res = lps_interleaved_mwm(g, seed=n)
+            assert res.rounds <= 3 * 10 * math.log2(n)
+
+
+class TestMechanics:
+    def test_unweighted_rejected(self):
+        with pytest.raises(ValueError):
+            lps_interleaved_mwm(path_graph(4))
+
+    def test_empty(self):
+        g = Graph(5, [], [])
+        m, res = lps_interleaved_mwm(g)
+        assert len(m) == 0 and res.rounds == 0
+
+    def test_determinism(self):
+        g = assign_uniform_weights(gnp_random(25, 0.2, seed=5), seed=5)
+        a, _ = lps_interleaved_mwm(g, seed=9)
+        b, _ = lps_interleaved_mwm(g, seed=9)
+        assert a == b
+
+    def test_congest_size_messages(self):
+        g = assign_uniform_weights(gnp_random(60, 0.1, seed=6), seed=6)
+        _, res = lps_interleaved_mwm(g, seed=6)
+        assert res.max_message_bits <= 8 + 2 * math.log2(60) + 8

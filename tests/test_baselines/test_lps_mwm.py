@@ -1,0 +1,91 @@
+"""Tests for the weight-class δ-MWM black box ([18]-style)."""
+
+import pytest
+
+from repro.baselines import lps_mwm
+from repro.baselines.lps_mwm import _weight_class
+from repro.graphs import Graph, gnp_random
+from repro.graphs.weights import (
+    assign_exponential_weights,
+    assign_integer_weights,
+    assign_uniform_weights,
+)
+from repro.matching import maximum_matching_weight
+
+
+class TestWeightClass:
+    def test_top_class(self):
+        assert _weight_class(100.0, 100.0) == 0
+
+    def test_boundaries(self):
+        # class j covers (wmax/2^{j+1}, wmax/2^j]: half-open below.
+        assert _weight_class(50.0, 100.0) == 1   # w == wmax/2 -> class 1
+        assert _weight_class(50.1, 100.0) == 0
+        assert _weight_class(25.0, 100.0) == 2
+        assert _weight_class(25.1, 100.0) == 1
+
+    def test_monotone(self):
+        prev = -1
+        for w in (100.0, 60.0, 30.0, 10.0, 1.0, 0.1):
+            j = _weight_class(w, 100.0)
+            assert j >= prev
+            prev = j
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            _weight_class(0.0, 10.0)
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_quarter_guarantee_uniform(self, seed):
+        g = assign_uniform_weights(gnp_random(50, 0.12, seed=seed), seed=seed)
+        m, _ = lps_mwm(g, seed=seed)
+        opt = maximum_matching_weight(g)
+        # Theory: ≥ 1/4 up to per-class maximality failures; assert the
+        # clean bound (holds comfortably on every tested seed).
+        assert m.weight() >= 0.25 * opt - 1e-9
+
+    def test_exponential_weights(self):
+        g = assign_exponential_weights(gnp_random(40, 0.15, seed=5), seed=5)
+        m, _ = lps_mwm(g, seed=5)
+        assert m.weight() >= 0.25 * maximum_matching_weight(g) - 1e-9
+
+    def test_integer_weights(self):
+        g = assign_integer_weights(gnp_random(40, 0.15, seed=6), seed=6)
+        m, _ = lps_mwm(g, seed=6)
+        assert m.weight() >= 0.25 * maximum_matching_weight(g) - 1e-9
+
+    def test_uniform_weights_single_class_behaves(self):
+        # All weights equal: one class; reduces to maximal matching.
+        g = gnp_random(30, 0.2, seed=7).with_weights([5.0] * gnp_random(30, 0.2, seed=7).m)
+        m, _ = lps_mwm(g, seed=7)
+        assert m.is_maximal()
+
+
+class TestMechanics:
+    def test_unweighted_rejected(self):
+        with pytest.raises(ValueError):
+            lps_mwm(gnp_random(10, 0.3, seed=1))
+
+    def test_empty_graph(self):
+        g = Graph(5, [], [])
+        m, res = lps_mwm(g)
+        assert len(m) == 0 and res.rounds == 0
+
+    def test_fixed_lockstep_round_count(self):
+        """Every node runs classes × phases × 3 rounds exactly."""
+        g = assign_uniform_weights(gnp_random(20, 0.2, seed=2), seed=2)
+        _, res = lps_mwm(g, seed=2, num_classes=4, phases_per_class=5)
+        assert res.rounds == 4 * 5 * 3
+
+    def test_determinism(self):
+        g = assign_uniform_weights(gnp_random(25, 0.2, seed=3), seed=3)
+        a, _ = lps_mwm(g, seed=9)
+        b, _ = lps_mwm(g, seed=9)
+        assert a == b
+
+    def test_result_is_valid_matching(self):
+        g = assign_uniform_weights(gnp_random(30, 0.15, seed=4), seed=4)
+        m, _ = lps_mwm(g, seed=4)  # Matching() construction validates
+        assert all(g.has_edge(u, v) for u, v in m.edges())

@@ -1,0 +1,71 @@
+"""Tests for Luby's distributed MIS (Algorithm 1's subroutine)."""
+
+import math
+
+import pytest
+
+from repro.baselines import luby_mis
+from repro.baselines.luby_mis import verify_mis
+from repro.graphs import Graph, complete_graph, cycle_graph, gnp_random, star_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_mis_on_random(self, seed):
+        g = gnp_random(70, 0.08, seed=seed)
+        mis, _ = luby_mis(g, seed=seed)
+        assert verify_mis(g, mis)
+
+    def test_complete_graph_singleton(self):
+        mis, _ = luby_mis(complete_graph(12), seed=1)
+        assert len(mis) == 1
+
+    def test_star_center_or_all_leaves(self):
+        mis, _ = luby_mis(star_graph(9), seed=2)
+        assert verify_mis(star_graph(9), mis)
+        assert mis == {0} or mis == set(range(1, 9))
+
+    def test_empty_graph_all_in(self):
+        mis, res = luby_mis(Graph(6), seed=3)
+        assert mis == set(range(6))
+        assert res.rounds == 0
+
+    def test_cycle(self):
+        g = cycle_graph(9)
+        mis, _ = luby_mis(g, seed=4)
+        assert verify_mis(g, mis)
+        assert 3 <= len(mis) <= 4
+
+    def test_determinism(self):
+        g = gnp_random(50, 0.1, seed=11)
+        a, _ = luby_mis(g, seed=5)
+        b, _ = luby_mis(g, seed=5)
+        assert a == b
+
+
+class TestComplexity:
+    def test_logarithmic_rounds(self):
+        for n in (64, 128, 256, 512):
+            g = gnp_random(n, 10.0 / n, seed=n)
+            _, res = luby_mis(g, seed=n)
+            assert res.rounds <= 3 * 6 * math.log2(n), f"n={n}: {res.rounds}"
+
+    def test_message_bits_logarithmic(self):
+        g = gnp_random(100, 0.1, seed=6)
+        _, res = luby_mis(g, seed=6)
+        # Numbers from [1, n^4]: about 4*log2(n) bits + sign.
+        assert res.max_message_bits <= 4 * math.log2(100) + 8
+
+
+class TestVerifyMis:
+    def test_rejects_dependent_set(self):
+        g = cycle_graph(4)
+        assert not verify_mis(g, {0, 1})
+
+    def test_rejects_non_maximal(self):
+        g = cycle_graph(6)
+        assert not verify_mis(g, {0})
+
+    def test_accepts_valid(self):
+        g = cycle_graph(6)
+        assert verify_mis(g, {0, 2, 4})

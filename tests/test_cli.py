@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import Graph, gnp_random, write_edgelist
+from repro.graphs.weights import assign_uniform_weights
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["bipartite"])
+        assert args.n == 60 and args.k == 3 and args.seed == 0
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["weighted", "--n", "33", "--eps", "0.2", "--seed", "9"]
+        )
+        assert args.n == 33 and args.eps == 0.2 and args.seed == 9
+
+
+class TestCommands:
+    def test_bipartite(self, capsys):
+        assert main(["bipartite", "--n", "20", "--p", "0.15", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 3.8" in out and "ratio" in out
+
+    def test_general(self, capsys):
+        assert main(["general", "--n", "24", "--p", "0.12", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 3.11" in out and "samples" in out
+
+    def test_generic(self, capsys):
+        assert main(["generic", "--n", "16", "--p", "0.15", "--k", "2"]) == 0
+        assert "conflict graph" in capsys.readouterr().out
+
+    def test_weighted(self, capsys):
+        assert main(["weighted", "--n", "20", "--p", "0.2"]) == 0
+        assert "Thm 4.5" in capsys.readouterr().out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", "--n", "25", "--p", "0.15"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Israeli-Itai", "LPS", "Hoepman", "greedy"):
+            assert name in out
+
+    def test_switch(self, capsys):
+        assert main(["switch", "--ports", "6", "--load", "0.7", "--slots", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "PIM" in out and "iSLIP" in out
+
+
+class TestFileCommand:
+    def test_general_on_file(self, tmp_path, capsys):
+        g = gnp_random(16, 0.2, seed=1)
+        p = tmp_path / "g.txt"
+        write_edgelist(g, p)
+        assert main(["file", str(p), "--algo", "general"]) == 0
+        assert "general_mcm" in capsys.readouterr().out
+
+    def test_bipartite_on_nonbipartite_file_errors(self, tmp_path, capsys):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        p = tmp_path / "tri.txt"
+        write_edgelist(g, p)
+        assert main(["file", str(p), "--algo", "bipartite"]) == 1
+        assert "not bipartite" in capsys.readouterr().err
+
+    def test_weighted_needs_weights(self, tmp_path, capsys):
+        g = gnp_random(10, 0.3, seed=2)
+        p = tmp_path / "g.txt"
+        write_edgelist(g, p)
+        assert main(["file", str(p), "--algo", "weighted"]) == 1
+        assert "needs edge weights" in capsys.readouterr().err
+
+    def test_weighted_on_file(self, tmp_path, capsys):
+        g = assign_uniform_weights(gnp_random(14, 0.25, seed=3), seed=3)
+        p = tmp_path / "gw.txt"
+        write_edgelist(g, p)
+        assert main(["file", str(p), "--algo", "weighted", "--eps", "0.2"]) == 0
+        assert "weighted_mwm" in capsys.readouterr().out

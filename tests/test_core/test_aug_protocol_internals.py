@@ -1,0 +1,175 @@
+"""White-box tests of the Aug iteration protocol (Section 3.2).
+
+Hand-constructed instances exercise the protocol's tricky internals
+one at a time: delayed token launches, simultaneous-arrival collision
+resolution, dead tokens leaving no state, mixed path lengths, and the
+exact round schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.israeli_itai import matching_from_mates
+from repro.core.bipartite_mcm import (
+    _choose_contributor,
+    _conflict_bound,
+    _draw_winner_number,
+    aug_bipartite,
+    aug_iteration_program,
+)
+from repro.distributed import Network
+from repro.graphs import Graph
+from repro.matching import Matching
+
+
+def run_once(g, xside, mates, ell, seed=0):
+    hi = _conflict_bound(g.n, g.max_degree(), ell) ** 4
+    net = Network(
+        g,
+        aug_iteration_program,
+        params={"xside": xside, "mates": mates, "ell": ell, "hi": hi},
+        seed=seed,
+    )
+    res = net.run()
+    return [res.outputs[v][0] for v in range(g.n)], res
+
+
+class TestRoundSchedule:
+    def test_iteration_is_exactly_3ell_plus_3_rounds(self):
+        for ell in (1, 3, 5, 7):
+            n = ell + 3
+            g = Graph(n, [(i, i + 1) for i in range(n - 1)])
+            xside = [v % 2 == 0 for v in range(n)]
+            _, res = run_once(g, xside, [-1] * n, ell)
+            assert res.rounds == 3 * ell + 3, ell
+
+
+class TestSingleEdge:
+    def test_free_pair_matches(self):
+        g = Graph(2, [(0, 1)])
+        mates, _ = run_once(g, [True, False], [-1, -1], 1)
+        assert mates == [1, 0]
+
+    def test_matched_pair_unchanged(self):
+        g = Graph(2, [(0, 1)])
+        mates, _ = run_once(g, [True, False], [1, 0], 1)
+        assert mates == [1, 0]
+
+    def test_isolated_nodes_idle(self):
+        g = Graph(3, [(0, 1)])
+        mates, _ = run_once(g, [True, False, True], [-1, -1, -1], 1)
+        assert mates[2] == -1
+
+
+class TestCollisionResolution:
+    def test_two_leaders_one_origin(self):
+        """Two free Y nodes compete for one free X: exactly one wins."""
+        g = Graph(3, [(0, 1), (0, 2)])  # X = {0}, Y = {1, 2}
+        xside = [True, False, False]
+        for seed in range(6):
+            mates, _ = run_once(g, xside, [-1] * 3, 1, seed=seed)
+            m = matching_from_mates(g, dict(enumerate(mates)))
+            assert len(m) == 1
+            assert mates[0] in (1, 2)
+
+    def test_star_contention_all_seeds(self):
+        """Many leaders, one center: always exactly one augmentation."""
+        g = Graph(5, [(0, i) for i in range(1, 5)])
+        xside = [True, False, False, False, False]
+        for seed in range(8):
+            mates, _ = run_once(g, xside, [-1] * 5, 1, seed=seed)
+            m = matching_from_mates(g, dict(enumerate(mates)))
+            assert len(m) == 1
+
+    def test_losing_token_leaves_no_state(self):
+        """Path graph where two length-3 paths share the middle matched
+        edge: one augments, the other's endpoints stay free and
+        *consistent*."""
+        # X: 0, 2 (2 matched to 3); Y: 1... build: f0 -u- y1 -m- x2? Use:
+        #   free X = {0, 4}, free Y = {... } sharing matched edge (1, 2):
+        #   0 -u- 1 =m= 2 -u- 3(free Y)  and  4 -u- 1 (second free X).
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (1, 4)])
+        xside = [True, False, True, False, True]
+        mates0 = [-1, 2, 1, -1, -1]
+        for seed in range(8):
+            mates, _ = run_once(g, xside, mates0, 3, seed=seed)
+            m = matching_from_mates(g, dict(enumerate(mates)))  # validates
+            # The single augmenting structure flips once: matching grows
+            # from 1 to 2 edges, never more (paths conflict at 1=2).
+            assert len(m) == 2
+
+
+class TestMixedLengths:
+    def test_short_path_preferred_by_counting(self):
+        """A leader at distance 1 and another at distance 3 can both
+        augment in one iteration when disjoint."""
+        # Component A: 0 -u- 1 (length 1).  Component B: 2 -u- 3 =m= 4 -u- 5.
+        g = Graph(6, [(0, 1), (2, 3), (3, 4), (4, 5)])
+        xside = [True, False, True, False, True, False]
+        mates0 = [-1, -1, -1, 4, 3, -1]
+        mates, _ = run_once(g, xside, mates0, 3, seed=1)
+        m = matching_from_mates(g, dict(enumerate(mates)))
+        assert len(m) == 3  # both components fully augmented
+
+    def test_visited_pruning_blocks_longer_path(self):
+        """A free Y reachable at distances 3 via two routes counts only
+        shortest-path contributions (first-receipt rule)."""
+        from repro.core.bipartite_mcm import count_augmenting_paths
+
+        # 0 (free X) -u- 1 =m= 2 -u- 3 (free Y); plus 0 -u- 3 directly.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        xside = [True, False, True, False]
+        mates0 = [-1, 2, 1, -1]
+        counts, _ = count_augmenting_paths(g, xside, mates0, 3)
+        d, n_v, _c, leader = counts[3]
+        assert leader and d == 1 and n_v == 1  # only the direct edge
+
+
+class TestHelpers:
+    def test_choose_contributor_distribution(self):
+        rng = np.random.default_rng(0)
+        contrib = {7: 3, 9: 1}
+        draws = [_choose_contributor(rng, contrib, 4) for _ in range(2000)]
+        frac7 = draws.count(7) / len(draws)
+        assert 0.70 <= frac7 <= 0.80  # expect 0.75
+
+    def test_choose_contributor_single(self):
+        rng = np.random.default_rng(0)
+        assert _choose_contributor(rng, {5: 2}, 2) == 5
+
+    def test_draw_winner_number_range(self):
+        rng = np.random.default_rng(1)
+        for n_v in (1, 3, 10**6):
+            w = _draw_winner_number(rng, n_v, 10**8)
+            assert 1 <= w <= 10**8
+
+    def test_draw_winner_number_stochastic_dominance(self):
+        """max of many uniforms dominates max of one."""
+        rng = np.random.default_rng(2)
+        singles = [_draw_winner_number(rng, 1, 10**6) for _ in range(500)]
+        manys = [_draw_winner_number(rng, 50, 10**6) for _ in range(500)]
+        assert sum(manys) / 500 > sum(singles) / 500 * 1.5
+
+    def test_conflict_bound_monotone(self):
+        assert _conflict_bound(10, 3, 3) < _conflict_bound(10, 3, 5)
+        assert _conflict_bound(10, 3, 3) < _conflict_bound(20, 3, 3)
+
+
+class TestAdaptiveCertificate:
+    def test_no_leader_iff_no_short_path(self):
+        """The adaptive stop is exactly Berge-bounded optimality."""
+        from repro.matching import shortest_augmenting_path_length
+
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            from repro.graphs import bipartite_random
+
+            g, xs, _ = bipartite_random(8, 8, 0.3, seed=seed)
+            xside = [v < 8 for v in range(g.n)]
+            for ell in (1, 3):
+                mates, _, iters = aug_bipartite(
+                    g, xside, [-1] * g.n, ell, seed=seed
+                )
+                m = matching_from_mates(g, dict(enumerate(mates)))
+                length = shortest_augmenting_path_length(g, m)
+                assert length is None or length > ell

@@ -1,0 +1,200 @@
+"""Tests for Section 3.2 (Algorithm 3 + token MIS, Theorem 3.8)."""
+
+import math
+
+import pytest
+
+from repro.core import aug_bipartite, bipartite_mcm, count_augmenting_paths
+from repro.core.bipartite_mcm import default_phase_iterations
+from repro.core.figures import figure1_instance
+from repro.graphs import (
+    Graph,
+    bipartite_random,
+    complete_bipartite,
+    crown_graph,
+    path_graph,
+)
+from repro.matching import (
+    Matching,
+    find_augmenting_paths_upto,
+    hopcroft_karp,
+    shortest_augmenting_path_length,
+)
+
+
+def _xside(g, xs):
+    out = [False] * g.n
+    for x in xs:
+        out[x] = True
+    return out
+
+
+class TestCounting:
+    """Algorithm 3 / Lemma 3.6: n_y equals the number of augmenting
+    paths of length d(y) ending at the free node y."""
+
+    def test_figure1_counts(self):
+        g, xside, mates, expected = figure1_instance()
+        counts, _ = count_augmenting_paths(g, xside, mates, 3)
+        for v, want in expected.items():
+            d, n_v, _contrib, _leader = counts[v]
+            assert n_v == want, f"node {v}: n_v={n_v}, expected {want}"
+
+    def test_counts_match_enumeration(self):
+        for seed in range(6):
+            g, xs, _ = bipartite_random(8, 8, 0.25, seed=seed)
+            m = Matching(g)
+            # build some matching via single-edge augment phase
+            xside = _xside(g, xs)
+            mates, _, _ = aug_bipartite(g, xside, [-1] * g.n, 1, seed=seed)
+            m = Matching(g, [(v, mates[v]) for v in range(g.n) if v < mates[v]])
+            for ell in (1, 3):
+                counts, _ = count_augmenting_paths(g, xside, mates, ell)
+                paths = find_augmenting_paths_upto(g, m, ell)
+                for y in range(g.n):
+                    if xside[y] or mates[y] != -1:
+                        continue
+                    d, n_v, _c, leader = counts[y]
+                    ending = [
+                        p for p in paths if (p[0] == y or p[-1] == y)
+                    ]
+                    if not ending:
+                        assert not leader
+                        continue
+                    shortest = min(len(p) - 1 for p in ending)
+                    expected = sum(
+                        1 for p in ending if len(p) - 1 == shortest
+                    )
+                    assert leader
+                    assert d == shortest
+                    assert n_v == expected, (y, ell)
+
+    def test_distances_alternate_parity(self):
+        g, xside, mates, _ = figure1_instance()
+        counts, _ = count_augmenting_paths(g, xside, mates, 3)
+        for v, (d, n_v, _c, _l) in counts.items():
+            if d == -1:
+                continue
+            # Y nodes receive at odd rounds, X nodes at even rounds.
+            assert (d % 2 == 1) == (not xside[v])
+
+    def test_lemma36_degree_bound(self):
+        g, xside, mates, _ = figure1_instance()
+        counts, _ = count_augmenting_paths(g, xside, mates, 3)
+        delta = g.max_degree()
+        for v, (d, n_v, _c, _l) in counts.items():
+            if d != -1:
+                assert n_v <= delta ** math.ceil(d / 2)
+
+    def test_stage_a_round_count(self):
+        g, xside, mates, _ = figure1_instance()
+        _, res = count_augmenting_paths(g, xside, mates, 3)
+        assert res.rounds == 4  # ℓ+1 segments
+
+
+class TestAugPhase:
+    def test_single_edge_phase_matches_maximally(self):
+        g, xs, _ = bipartite_random(10, 10, 0.3, seed=1)
+        mates, _, _ = aug_bipartite(g, _xside(g, xs), [-1] * g.n, 1, seed=2)
+        m = Matching(g, [(v, mates[v]) for v in range(g.n) if v < mates[v]])
+        assert m.is_maximal()
+
+    def test_phase_removes_short_paths(self):
+        """After Aug(ℓ), no augmenting path of length ≤ ℓ remains."""
+        for seed in range(5):
+            g, xs, _ = bipartite_random(10, 10, 0.3, seed=seed)
+            xside = _xside(g, xs)
+            mates = [-1] * g.n
+            for ell in (1, 3):
+                mates, _, _ = aug_bipartite(g, xside, mates, ell, seed=seed)
+                m = Matching(
+                    g, [(v, mates[v]) for v in range(g.n) if v < mates[v]]
+                )
+                length = shortest_augmenting_path_length(g, m)
+                assert length is None or length > ell
+
+    def test_even_ell_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError, match="odd"):
+            aug_bipartite(g, [True] * 4, [-1] * 4, 2)
+
+    def test_fixed_budget_mode(self):
+        g, xs, _ = bipartite_random(8, 8, 0.3, seed=3)
+        iters = default_phase_iterations(g.n, g.max_degree(), 1)
+        mates, res, used = aug_bipartite(
+            g, _xside(g, xs), [-1] * g.n, 1, seed=4, iters=iters, adaptive=False
+        )
+        assert used == iters
+        assert res.rounds == iters * 6  # 3ℓ+3 = 6 rounds per iteration
+
+    def test_progress_guaranteed_each_iteration(self):
+        """The max-numbered token always completes, so adaptive mode
+        terminates in at most |M*| iterations (plus the certificate)."""
+        g, xs, _ = complete_bipartite(6, 6)
+        _, _, used = aug_bipartite(g, _xside(g, xs), [-1] * g.n, 1, seed=5)
+        assert used <= 7
+
+
+class TestTheorem38:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_guarantee_random(self, k):
+        g, xs, _ = bipartite_random(25, 25, 0.12, seed=k)
+        m, _ = bipartite_mcm(g, k=k, xs=xs, seed=k + 10)
+        opt = len(hopcroft_karp(g, xs))
+        assert len(m) >= (1 - 1 / k) * opt - 1e-9
+
+    def test_crown_graph_beats_half(self):
+        g, xs, _ = crown_graph(8)
+        m, _ = bipartite_mcm(g, k=3, xs=xs, seed=1)
+        assert len(m) >= (2 / 3) * 8
+
+    def test_k1_maximal(self):
+        g, xs, _ = bipartite_random(12, 12, 0.25, seed=6)
+        m, _ = bipartite_mcm(g, k=1, xs=xs, seed=6)
+        assert m.is_maximal()
+
+    def test_autodetect_bipartition(self):
+        g = path_graph(8)
+        m, _ = bipartite_mcm(g, k=2, seed=7)
+        assert len(m) >= (1 / 2) * 4
+
+    def test_non_bipartite_rejected(self, triangle):
+        with pytest.raises(ValueError, match="not bipartite"):
+            bipartite_mcm(triangle, k=2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            bipartite_mcm(path_graph(2), k=0)
+
+    def test_empty_graph(self):
+        m, res = bipartite_mcm(Graph(4), k=2, xs=[0, 1], seed=8)
+        assert len(m) == 0
+
+    def test_determinism(self):
+        g, xs, _ = bipartite_random(15, 15, 0.2, seed=9)
+        a, _ = bipartite_mcm(g, k=2, xs=xs, seed=11)
+        b, _ = bipartite_mcm(g, k=2, xs=xs, seed=11)
+        assert a == b
+
+    def test_fidelity_mode_same_guarantee(self):
+        g, xs, _ = bipartite_random(10, 10, 0.25, seed=12)
+        m, res = bipartite_mcm(g, k=2, xs=xs, seed=12, adaptive=False)
+        opt = len(hopcroft_karp(g, xs))
+        assert len(m) >= (1 / 2) * opt - 1e-9
+
+
+class TestMessageSizes:
+    def test_small_messages(self):
+        """Thm 3.8: messages O(log Δ) after pipelining; our unpipelined
+        tokens carry O(log N) = O(ℓ log Δ + log n) bits."""
+        g, xs, _ = bipartite_random(30, 30, 0.12, seed=13)
+        _, res = bipartite_mcm(g, k=3, xs=xs, seed=13)
+        n, delta, ell = g.n, g.max_degree(), 5
+        bound = 4 * (math.log2(n) + (ell + 1) / 2 * math.log2(delta + 1)) + 16
+        assert res.max_message_bits <= bound
+
+    def test_counting_messages_scale_with_degree(self):
+        g, xside, mates, _ = figure1_instance()
+        _, res = count_augmenting_paths(g, xside, mates, 3)
+        # counts are at most Δ^2 here: tag byte + small int
+        assert res.max_message_bits <= 8 + 8

@@ -1,0 +1,85 @@
+"""Tests for Definition 3.1's conflict graph and local-view leadership."""
+
+from hypothesis import given, settings
+
+from repro.core import build_conflict_graph, local_view_paths
+from repro.graphs import Graph, gnp_random, path_graph
+from repro.matching import Matching, find_augmenting_paths_upto
+
+from tests.conftest import matchable
+
+
+class TestBuild:
+    def test_nodes_are_augmenting_paths(self, p4):
+        m = Matching(p4, [(1, 2)])
+        paths, cg, leaders = build_conflict_graph(p4, m, 3)
+        assert paths == [(0, 1, 2, 3)]
+        assert cg.n == 1 and cg.m == 0
+        assert leaders == [0]
+
+    def test_conflict_edge_iff_shared_vertex(self):
+        g = path_graph(3)  # (0,1) and (1,2) share vertex 1
+        m = Matching(g)
+        paths, cg, _ = build_conflict_graph(g, m, 1)
+        assert len(paths) == 2
+        assert cg.m == 1
+
+    def test_disjoint_paths_no_edge(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        m = Matching(g)
+        _, cg, _ = build_conflict_graph(g, m, 1)
+        assert cg.n == 2 and cg.m == 0
+
+    def test_leader_is_smaller_endpoint(self):
+        g = path_graph(4)
+        m = Matching(g, [(1, 2)])
+        paths, _, leaders = build_conflict_graph(g, m, 3)
+        assert leaders == [min(p[0], p[-1]) for p in paths]
+
+    def test_empty_when_no_paths(self):
+        g = path_graph(4)
+        m = Matching(g, [(0, 1), (2, 3)])
+        paths, cg, leaders = build_conflict_graph(g, m, 9)
+        assert paths == [] and cg.n == 0 and leaders == []
+
+
+class TestIndependenceSemantics:
+    @given(matchable(max_n=9))
+    @settings(max_examples=40)
+    def test_independent_sets_are_disjoint_path_sets(self, gm):
+        g, edges = gm
+        m = Matching(g, edges)
+        paths, cg, _ = build_conflict_graph(g, m, 3)
+        # Any pair without a conflict edge must be vertex-disjoint.
+        for i in range(len(paths)):
+            for j in range(i + 1, len(paths)):
+                shares = bool(set(paths[i]) & set(paths[j]))
+                assert shares == cg.has_edge(i, j)
+
+
+class TestLocalViews:
+    @given(matchable(max_n=9))
+    @settings(max_examples=40)
+    def test_local_leadership_partitions_global_enumeration(self, gm):
+        """Every global path is led by exactly one node — its smaller
+        free endpoint — and local enumeration finds exactly those."""
+        g, edges = gm
+        m = Matching(g, edges)
+        for ell in (1, 3):
+            global_paths = set(find_augmenting_paths_upto(g, m, ell))
+            led = []
+            for v in g.vertices():
+                for p in local_view_paths(g, m, v, ell):
+                    assert p[0] == v
+                    led.append(p if p[0] <= p[-1] else p[::-1])
+            assert sorted(led) == sorted(global_paths)
+
+    def test_matched_node_leads_nothing(self, p4):
+        m = Matching(p4, [(0, 1)])
+        assert local_view_paths(p4, m, 0, 3) == []
+
+    def test_larger_endpoint_defers(self):
+        g = path_graph(2)
+        m = Matching(g)
+        assert local_view_paths(g, m, 0, 1) == [(0, 1)]
+        assert local_view_paths(g, m, 1, 1) == []

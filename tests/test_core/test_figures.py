@@ -1,0 +1,59 @@
+"""Tests for the reconstructed Figure 1 / Figure 2 instances."""
+
+import pytest
+
+from repro.core import count_augmenting_paths, derived_weights, apply_wraps
+from repro.core.figures import figure1_instance, figure2_instance
+from repro.matching import Matching, find_augmenting_paths_upto
+
+
+class TestFigure1:
+    def test_counts_as_annotated(self):
+        g, xside, mates, expected = figure1_instance()
+        counts, _ = count_augmenting_paths(g, xside, mates, 3)
+        got = {v: counts[v][1] for v in expected}
+        assert got == expected
+
+    def test_counts_equal_brute_force(self):
+        g, xside, mates, _ = figure1_instance()
+        m = Matching(g, [(v, mates[v]) for v in range(g.n) if v < mates[v]])
+        paths = find_augmenting_paths_upto(g, m, 3)
+        # 6 augmenting paths of length 3, 3 ending at each leader.
+        assert len(paths) == 6
+        for leader in (8, 9):
+            assert sum(1 for p in paths if leader in (p[0], p[-1])) == 3
+
+    def test_structure_is_valid(self):
+        g, xside, mates, _ = figure1_instance()
+        assert g.is_bipartite()
+        for v, mate in enumerate(mates):
+            if mate != -1:
+                assert mates[mate] == v
+                assert g.has_edge(v, mate)
+                assert xside[v] != xside[mate]
+
+
+class TestFigure2:
+    def test_caption_weights(self):
+        g, m, mprime, (w_m, w_mp, w_mpp) = figure2_instance()
+        assert m.weight() == w_m == 14.0
+        wm = derived_weights(g, m)
+        got = sum(wm[g.edge_id(u, v)] for u, v in mprime)
+        assert got == w_mp == 10.0
+        m2 = apply_wraps(m, mprime)
+        assert m2.weight() == w_mpp == 26.0
+
+    def test_lemma41_strict_slack(self):
+        """The figure's point: overlap at a removed M edge gives strict
+        inequality (26 > 14 + 10)."""
+        g, m, mprime, _ = figure2_instance()
+        wm = derived_weights(g, m)
+        gain = sum(wm[g.edge_id(u, v)] for u, v in mprime)
+        m2 = apply_wraps(m, mprime)
+        assert m2.weight() > m.weight() + gain
+
+    def test_mprime_is_matching_disjoint_from_m(self):
+        g, m, mprime, _ = figure2_instance()
+        mp = Matching(g, mprime)  # validates
+        for e in mprime:
+            assert not m.is_matched_edge(*e)

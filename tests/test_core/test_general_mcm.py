@@ -1,0 +1,131 @@
+"""Tests for Algorithm 4 (Theorem 3.11) — general graphs."""
+
+import math
+
+import pytest
+
+from repro.core import fidelity_iterations, general_mcm
+from repro.core.general_mcm import _hat_graph
+from repro.graphs import Graph, cycle_graph, gnp_random, random_regular
+from repro.matching import Matching, maximum_matching_size
+
+import numpy as np
+
+
+class TestHatGraph:
+    def test_free_vertices_always_members(self):
+        g = cycle_graph(4)
+        red = np.array([True, True, False, False])
+        ghat, xside = _hat_graph(g, [-1, -1, -1, -1], red)
+        # All free; bichromatic edges kept: (1,2) and (0,3).
+        assert ghat.m == 2
+        assert ghat.has_edge(1, 2) and ghat.has_edge(0, 3)
+
+    def test_monochromatic_matched_excluded(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        red = np.array([True, True, False, True])
+        # (0,1) matched and monochromatic: 0,1 not in V-hat, so edge
+        # (1,2) dies even though it is bichromatic.
+        ghat, _ = _hat_graph(g, [1, 0, -1, -1], red)
+        assert not ghat.has_edge(1, 2)
+        assert ghat.has_edge(2, 3)
+
+    def test_bichromatic_matched_kept(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        red = np.array([True, False, True, False])
+        ghat, _ = _hat_graph(g, [1, 0, -1, -1], red)
+        assert ghat.has_edge(0, 1)  # the matched bichromatic edge itself
+
+    def test_observation_31(self):
+        """Augmenting paths of (Ĝ, M̂) are augmenting in (G, M)."""
+        from repro.matching import find_augmenting_paths_upto, is_augmenting_path
+
+        g = gnp_random(14, 0.3, seed=3)
+        rng = np.random.default_rng(4)
+        m_edges = []
+        used = set()
+        for u, v in g.edges():
+            if u not in used and v not in used and rng.random() < 0.4:
+                m_edges.append((u, v))
+                used.update((u, v))
+        m = Matching(g, m_edges)
+        mates = [m.mate(v) for v in range(g.n)]
+        red = rng.integers(0, 2, g.n).astype(bool)
+        ghat, _ = _hat_graph(g, mates, red)
+        mhat = Matching(
+            ghat, [(u, v) for u, v in m_edges if ghat.has_edge(u, v)]
+        )
+        for p in find_augmenting_paths_upto(ghat, mhat, 5):
+            assert is_augmenting_path(g, m, p)
+
+
+class TestFidelityBudget:
+    def test_formula(self):
+        assert fidelity_iterations(3) == math.ceil(2**7 * 4 * math.log(3))
+
+    def test_requires_k_above_two(self):
+        with pytest.raises(ValueError):
+            fidelity_iterations(2)
+
+
+class TestTheorem311:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_guarantee_gnp(self, seed):
+        g = gnp_random(40, 0.08, seed=seed)
+        m, _, _ = general_mcm(g, k=3, seed=seed)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (1 - 1 / 3) * opt - 1e-9
+
+    def test_guarantee_regular(self):
+        g = random_regular(30, 3, seed=5)
+        m, _, _ = general_mcm(g, k=3, seed=5)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (2 / 3) * opt - 1e-9
+
+    def test_odd_structures(self):
+        g = cycle_graph(9)
+        m, _, _ = general_mcm(g, k=3, seed=6)
+        assert len(m) >= (2 / 3) * 4 - 1e-9
+
+    def test_adaptive_stronger_postcondition(self):
+        """Adaptive mode stops only when no ≤(2k−1)-path exists, which
+        by Lemma 3.5 gives the stronger (1−1/(k+1)) bound."""
+        g = gnp_random(30, 0.1, seed=7)
+        m, _, _ = general_mcm(g, k=3, seed=7)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (1 - 1 / 4) * opt - 1e-9
+
+    def test_k_must_exceed_two(self):
+        with pytest.raises(ValueError, match="k > 2"):
+            general_mcm(cycle_graph(5), k=2)
+
+    def test_empty_graph(self):
+        m, res, outer = general_mcm(Graph(5), k=3, seed=8)
+        assert len(m) == 0 and outer == 0
+
+    def test_determinism(self):
+        g = gnp_random(25, 0.12, seed=9)
+        a, _, _ = general_mcm(g, k=3, seed=10)
+        b, _, _ = general_mcm(g, k=3, seed=10)
+        assert a == b
+
+    def test_fixed_iteration_budget_respected(self):
+        g = gnp_random(25, 0.12, seed=11)
+        _, _, outer = general_mcm(
+            g, k=3, seed=11, iterations=5, adaptive=False, inner_adaptive=True
+        )
+        assert outer == 5
+
+    def test_adaptive_converges_before_fidelity_budget(self):
+        g = gnp_random(30, 0.1, seed=12)
+        _, _, outer = general_mcm(g, k=3, seed=12)
+        assert outer < fidelity_iterations(3)
+
+    def test_congest_message_sizes(self):
+        """Thm 3.11 claims O(log n)-bit messages (same caveat as 3.8:
+        token numbers are O(log N) before pipelining)."""
+        g = gnp_random(30, 0.1, seed=13)
+        _, res, _ = general_mcm(g, k=3, seed=13)
+        n, delta, ell = g.n, g.max_degree(), 5
+        bound = 4 * (math.log2(n) + (ell + 1) / 2 * math.log2(delta + 1)) + 16
+        assert res.max_message_bits <= bound

@@ -1,0 +1,137 @@
+"""Tests for Algorithms 1 & 2 (Theorem 3.1)."""
+
+import pytest
+
+from repro.core import generic_mcm, generic_mcm_reference
+from repro.core.generic_mcm import flood_views_program
+from repro.distributed import Network
+from repro.graphs import Graph, cycle_graph, gnp_random, path_graph
+from repro.matching import Matching, maximum_matching_size
+
+
+class TestFlooding:
+    def _views(self, g, mates, depth):
+        net = Network(
+            g, flood_views_program, params={"depth": depth, "mates": mates}
+        )
+        return net.run().outputs
+
+    def test_depth_zero_sees_self(self):
+        g = path_graph(3)
+        views = self._views(g, [-1, -1, -1], 0)
+        assert ("v", 0, True) in views[0]
+        assert ("e", 0, 1, False) in views[0]
+        assert not any(rec[1] == 2 for rec in views[0] if rec[0] == "v")
+
+    def test_depth_covers_ball(self):
+        g = path_graph(5)
+        views = self._views(g, [-1] * 5, 2)
+        # node 0 at depth 2 knows vertices 0,1,2 and edge (2,3) via node 2's
+        # incident list, but not vertex record of 4.
+        vids = {rec[1] for rec in views[0] if rec[0] == "v"}
+        assert vids == {0, 1, 2}
+
+    def test_matched_flags_propagate(self):
+        g = path_graph(3)
+        views = self._views(g, [1, 0, -1], 1)
+        assert ("e", 0, 1, True) in views[2]
+
+    def test_full_depth_equals_whole_component(self):
+        g = cycle_graph(6)
+        views = self._views(g, [-1] * 6, 6)
+        for v in range(6):
+            assert len([r for r in views[v] if r[0] == "e"]) == 6
+
+    def test_message_sizes_bounded_by_graph_size(self):
+        g = gnp_random(20, 0.2, seed=1)
+        net = Network(
+            g, flood_views_program, params={"depth": 4, "mates": [-1] * 20}
+        )
+        res = net.run()
+        # Theorem 3.1: messages O(|V|+|E|) — each record ~O(log n) bits.
+        per_record = 3 + 2 * 7 + 8  # flags + 2 ids + tag, loose
+        assert res.max_message_bits <= (g.n + g.m) * per_record
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_ratio_on_paths(self, k):
+        g = path_graph(12)
+        m, _ = generic_mcm(g, k=k, seed=1)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (1 - 1 / (k + 1)) * opt - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ratio_on_random_k2(self, seed):
+        g = gnp_random(40, 0.08, seed=seed)
+        m, _ = generic_mcm(g, k=2, seed=seed)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (1 - 1 / 3) * opt - 1e-9
+
+    def test_k1_gives_maximal(self):
+        g = gnp_random(30, 0.1, seed=5)
+        m, _ = generic_mcm(g, k=1, seed=5)
+        assert m.is_maximal()
+
+    def test_eps_parameter(self):
+        g = gnp_random(30, 0.1, seed=6)
+        m, _ = generic_mcm(g, eps=0.5, seed=6)  # k = 2
+        opt = maximum_matching_size(g)
+        assert len(m) >= 0.5 * opt
+
+    def test_odd_cycle_blossom_case(self):
+        g = cycle_graph(5)
+        m, _ = generic_mcm(g, k=2, seed=7)
+        assert len(m) == 2
+
+    def test_param_validation(self):
+        g = path_graph(2)
+        with pytest.raises(ValueError):
+            generic_mcm(g)  # neither k nor eps
+        with pytest.raises(ValueError):
+            generic_mcm(g, k=2, eps=0.1)  # both
+        with pytest.raises(ValueError):
+            generic_mcm(g, eps=1.5)
+        with pytest.raises(ValueError):
+            generic_mcm(g, k=0)
+
+
+class TestStats:
+    def test_conflict_sizes_recorded(self):
+        g = path_graph(8)
+        _, stats = generic_mcm(g, k=2, seed=8)
+        assert 1 in stats.conflict_sizes and 3 in stats.conflict_sizes
+
+    def test_charged_rounds_positive_when_mis_ran(self):
+        g = gnp_random(20, 0.2, seed=9)
+        _, stats = generic_mcm(g, k=2, seed=9)
+        assert stats.result.charged_rounds > 0
+        assert stats.result.rounds > 0  # flooding was simulated
+
+    def test_views_exposed_for_verification(self):
+        g = path_graph(5)
+        _, stats = generic_mcm(g, k=1, seed=10)
+        assert set(stats.views) == set(range(5))
+
+
+class TestReference:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_reference_guarantee(self, k, seed):
+        g = gnp_random(30, 0.1, seed=seed)
+        m = generic_mcm_reference(g, k, seed=seed)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (1 - 1 / (k + 1)) * opt - 1e-9
+
+    def test_reference_deterministic_without_seed(self):
+        g = gnp_random(25, 0.15, seed=11)
+        assert generic_mcm_reference(g, 2) == generic_mcm_reference(g, 2)
+
+    def test_distributed_matches_reference_quality(self):
+        """Same guarantee; sizes within each other's phase bounds."""
+        g = gnp_random(30, 0.12, seed=12)
+        md, _ = generic_mcm(g, k=2, seed=12)
+        mr = generic_mcm_reference(g, 2)
+        opt = maximum_matching_size(g)
+        for m in (md, mr):
+            assert len(m) >= (2 / 3) * opt - 1e-9

@@ -1,0 +1,101 @@
+"""Tests for the k-opt MWM extension (the remark after Theorem 4.5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import find_gain_augmentations, kopt_mwm
+from repro.graphs import Graph, cycle_graph, gnp_random, path_graph
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import Matching, maximum_matching_weight
+
+from tests.conftest import graphs
+
+
+class TestFindGainAugmentations:
+    def test_single_edge_gain(self):
+        g = Graph(2, [(0, 1)], [5.0])
+        m = Matching(g)
+        out = find_gain_augmentations(g, m, 1)
+        assert out == [(5.0, ((0, 1),))]
+
+    def test_swap_via_length3(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [4.0, 2.0, 5.0])
+        m = Matching(g, [(1, 2)])
+        out = find_gain_augmentations(g, m, 2)
+        # best: take both outer edges, drop the middle: gain 7.
+        assert out[0][0] == pytest.approx(7.0)
+
+    def test_shrinking_end_allowed(self):
+        # Dropping a matched edge for a heavier adjacent one.
+        g = Graph(3, [(0, 1), (1, 2)], [1.0, 9.0])
+        m = Matching(g, [(0, 1)])
+        out = find_gain_augmentations(g, m, 1)
+        best_gain, best_edges = out[0]
+        assert best_gain == pytest.approx(8.0)
+        assert best_edges == ((0, 1), (1, 2))
+
+    def test_alternating_cycle_found(self):
+        g = cycle_graph(4).with_weights([1.0, 10.0, 1.0, 10.0])
+        m = Matching(g, [(0, 1), (2, 3)])  # weight 2; rotating gives 20
+        out = find_gain_augmentations(g, m, 2)
+        assert out and out[0][0] == pytest.approx(18.0)
+        assert len(out[0][1]) == 4  # the full cycle
+
+    def test_no_positive_gain_when_optimal(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [5.0, 2.0, 5.0])
+        m = Matching(g, [(0, 1), (2, 3)])
+        assert find_gain_augmentations(g, m, 3) == []
+
+    def test_respects_unmatched_budget(self):
+        g = path_graph(6).with_weights([5.0, 1.0, 5.0, 1.0, 5.0])
+        m = Matching(g, [(1, 2), (3, 4)])
+        # Full rotation (3 unmatched edges, gain 13) needs k=3; with
+        # k=2 the best move is a partial rotation of gain 8.
+        best2 = find_gain_augmentations(g, m, 2)[0][0]
+        best3 = find_gain_augmentations(g, m, 3)[0][0]
+        assert best2 == pytest.approx(8.0)
+        assert best3 == pytest.approx(13.0)
+
+    def test_all_results_applicable(self):
+        g = assign_uniform_weights(gnp_random(10, 0.4, seed=1), seed=1)
+        from repro.matching.greedy import greedy_maximal_matching
+
+        m = greedy_maximal_matching(g)
+        for gain, edges in find_gain_augmentations(g, m, 2):
+            m2 = m.symmetric_difference(edges)  # must not raise
+            assert m2.weight() == pytest.approx(m.weight() + gain)
+
+
+class TestKoptMwm:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_guarantee(self, k):
+        g = assign_uniform_weights(gnp_random(16, 0.3, seed=k), seed=k)
+        m, _ = kopt_mwm(g, k=k)
+        opt = maximum_matching_weight(g)
+        assert m.weight() >= (k / (k + 1)) * opt - 1e-9
+
+    def test_k3_usually_near_optimal(self):
+        g = assign_uniform_weights(gnp_random(14, 0.35, seed=9), seed=9)
+        m, _ = kopt_mwm(g, k=3)
+        assert m.weight() >= 0.9 * maximum_matching_weight(g)
+
+    def test_unweighted_rejected(self):
+        with pytest.raises(ValueError):
+            kopt_mwm(path_graph(4))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kopt_mwm(path_graph(2).with_weights([1.0]), k=0)
+
+    def test_local_optimality_postcondition(self):
+        g = assign_uniform_weights(gnp_random(12, 0.3, seed=5), seed=5)
+        m, _ = kopt_mwm(g, k=2)
+        assert find_gain_augmentations(g, m, 2) == []
+
+    @given(graphs(max_n=8, weighted=True))
+    @settings(max_examples=30, deadline=None)
+    def test_property_two_thirds(self, g):
+        if not g.weighted:  # strategy yields unweighted when m == 0
+            return
+        m, _ = kopt_mwm(g, k=2)
+        assert m.weight() >= (2 / 3) * maximum_matching_weight(g) - 1e-9

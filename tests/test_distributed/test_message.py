@@ -1,0 +1,68 @@
+"""Unit tests for message bit-size accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributed import bit_size
+from repro.distributed.message import Sized
+
+
+class TestScalars:
+    def test_none_and_bool(self):
+        assert bit_size(None) == 1
+        assert bit_size(True) == 1
+        assert bit_size(False) == 1
+
+    def test_zero_is_one_bit_plus_sign(self):
+        assert bit_size(0) == 2
+
+    def test_small_ints(self):
+        assert bit_size(1) == 2  # sign + 1
+        assert bit_size(7) == 4  # sign + 3
+        assert bit_size(8) == 5
+
+    def test_negative_symmetric(self):
+        assert bit_size(-7) == bit_size(7)
+
+    def test_float_is_word(self):
+        assert bit_size(3.14) == 64
+
+    def test_str_per_char(self):
+        assert bit_size("p") == 8
+        assert bit_size("abc") == 24
+
+    def test_unsizable_rejected(self):
+        with pytest.raises(TypeError):
+            bit_size(object())
+
+
+class TestComposite:
+    def test_tuple_sums(self):
+        assert bit_size(("p", 1)) == 8 + 2
+
+    def test_nested(self):
+        assert bit_size(((1,), (1,))) == 2 * bit_size(1)
+
+    def test_dict_counts_keys_and_values(self):
+        assert bit_size({1: 2}) == bit_size(1) + bit_size(2)
+
+    def test_empty_containers(self):
+        assert bit_size(()) == 0
+        assert bit_size([]) == 0
+
+    @given(st.integers(min_value=1))
+    def test_int_bits_monotone_in_log(self, v):
+        assert bit_size(v) == 1 + v.bit_length()
+
+
+class TestSized:
+    def test_caches_bits(self):
+        payload = ("c", 12345)
+        s = Sized(payload)
+        assert s.bits == bit_size(payload)
+        assert bit_size(s) == s.bits
+
+    def test_payload_accessible(self):
+        s = Sized((1, 2))
+        assert s.payload == (1, 2)

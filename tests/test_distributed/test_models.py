@@ -1,0 +1,27 @@
+"""Unit tests for the LOCAL/CONGEST model definitions."""
+
+from repro.distributed import CONGEST, LOCAL
+from repro.distributed.models import congest_with_bound
+
+
+class TestModels:
+    def test_local_unbounded(self):
+        assert LOCAL.limit(1000, 50) is None
+
+    def test_congest_scales_with_log_n(self):
+        small = CONGEST.limit(16, 4)
+        large = CONGEST.limit(16**4, 4)
+        assert small is not None and large is not None
+        assert large == 4 * small  # log2(16^4) = 4*log2(16)
+
+    def test_congest_minimum_positive(self):
+        assert CONGEST.limit(1, 0) > 0
+        assert CONGEST.limit(2, 1) > 0
+
+    def test_explicit_bound(self):
+        m = congest_with_bound(100)
+        assert m.limit(10**6, 10**3) == 100
+
+    def test_names(self):
+        assert LOCAL.name == "LOCAL"
+        assert CONGEST.name == "CONGEST"

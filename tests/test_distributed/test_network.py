@@ -1,0 +1,205 @@
+"""Unit tests for the synchronous network executor."""
+
+import pytest
+
+from repro.distributed import CONGEST, LOCAL, CongestViolation, Network
+from repro.distributed.models import congest_with_bound
+from repro.graphs import Graph, path_graph, star_graph
+
+
+def silent(node):
+    """Program that does nothing."""
+    return
+    yield  # pragma: no cover - makes this a generator function
+
+
+def one_round_noop(node):
+    yield
+    node.finish("done")
+
+
+class TestLifecycle:
+    def test_all_finish_immediately(self):
+        net = Network(path_graph(3), silent)
+        res = net.run()
+        assert res.rounds == 0
+        assert res.outputs == {0: None, 1: None, 2: None}
+
+    def test_single_round(self):
+        net = Network(path_graph(2), one_round_noop)
+        res = net.run()
+        assert res.rounds == 1
+        assert res.outputs[0] == "done"
+
+    def test_return_value_becomes_output(self):
+        def prog(node):
+            yield
+            return node.id * 10
+
+        res = Network(path_graph(3), prog).run()
+        assert res.outputs == {0: 0, 1: 10, 2: 20}
+
+    def test_max_rounds_guard(self):
+        def forever(node):
+            while True:
+                yield
+
+        net = Network(path_graph(2), forever)
+        with pytest.raises(RuntimeError, match="still running"):
+            net.run(max_rounds=5)
+
+
+class TestMessaging:
+    def test_message_delivered_next_round(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(1, "hello")
+            yield
+            if node.id == 1:
+                assert node.inbox == [(0, "hello")]
+                node.finish("got")
+            yield
+
+        res = Network(path_graph(2), prog).run()
+        assert res.outputs[1] == "got"
+        assert res.total_messages == 1
+
+    def test_broadcast_reaches_all_neighbors(self):
+        def prog(node):
+            if node.id == 0:
+                node.broadcast("x")
+            yield
+            node.finish(len(node.inbox))
+            yield
+
+        res = Network(star_graph(5), prog).run()
+        assert all(res.outputs[v] == 1 for v in range(1, 5))
+        assert res.total_messages == 4
+
+    def test_non_neighbor_send_rejected(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(2, "bad")  # 0-2 not an edge in a path
+            yield
+
+        with pytest.raises(ValueError, match="non-neighbor"):
+            Network(path_graph(3), prog).run()
+
+    def test_inbox_ordered_by_sender(self):
+        def prog(node):
+            if node.id != 0:
+                node.send(0, node.id)
+            yield
+            if node.id == 0:
+                node.finish([src for src, _ in node.inbox])
+            yield
+
+        res = Network(star_graph(4), prog).run()
+        assert res.outputs[0] == [1, 2, 3]
+
+    def test_message_sent_in_final_segment_still_delivered(self):
+        """Messages queued right before a generator returns must flow."""
+
+        def prog(node):
+            if node.id == 0:
+                node.send(1, "bye")
+                return
+            yield
+            node.finish([p for _, p in node.inbox])
+
+        res = Network(path_graph(2), prog).run()
+        assert res.outputs[1] == ["bye"]
+
+
+class TestAccounting:
+    def test_bits_counted(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(1, 7)  # 4 bits
+            yield
+
+        res = Network(path_graph(2), prog).run()
+        assert res.total_bits == 4
+        assert res.max_message_bits == 4
+
+    def test_congest_violation(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(1, tuple(range(10_000)))
+            yield
+
+        net = Network(path_graph(2), prog, model=CONGEST)
+        with pytest.raises(CongestViolation):
+            net.run()
+
+    def test_congest_allows_small(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(1, ("t", 123))
+            yield
+
+        res = Network(path_graph(2), prog, model=CONGEST).run()
+        assert res.rounds == 1
+
+    def test_explicit_bound_model(self):
+        def prog(node):
+            if node.id == 0:
+                node.send(1, "abcd")  # 32 bits
+            yield
+
+        with pytest.raises(CongestViolation):
+            Network(path_graph(2), prog, model=congest_with_bound(16)).run()
+        Network(path_graph(2), prog, model=congest_with_bound(32)).run()
+
+    def test_charge_rounds(self):
+        net = Network(path_graph(2), silent)
+        net.charge_rounds(17)
+        res = net.run()
+        assert res.charged_rounds == 17
+        assert res.total_rounds == 17
+
+
+class TestDeterminism:
+    def test_same_seed_same_outputs(self):
+        def prog(node):
+            yield
+            node.finish(int(node.rng.integers(0, 1_000_000)))
+
+        a = Network(path_graph(5), prog, seed=3).run().outputs
+        b = Network(path_graph(5), prog, seed=3).run().outputs
+        c = Network(path_graph(5), prog, seed=4).run().outputs
+        assert a == b
+        assert a != c
+
+    def test_per_node_rngs_independent(self):
+        def prog(node):
+            yield
+            node.finish(int(node.rng.integers(0, 1_000_000)))
+
+        outs = Network(path_graph(6), prog, seed=0).run().outputs
+        assert len(set(outs.values())) > 1
+
+
+class TestParams:
+    def test_params_forwarded(self):
+        def prog(node, factor):
+            yield
+            node.finish(node.id * factor)
+
+        res = Network(path_graph(3), prog, params={"factor": 5}).run()
+        assert res.outputs[2] == 10
+
+    def test_node_api_surface(self):
+        g = Graph(3, [(0, 1), (0, 2)], [2.0, 3.0])
+
+        def prog(node):
+            yield
+            if node.id == 0:
+                assert node.degree == 2
+                assert node.edge_weight(2) == 3.0
+                assert node.port_of(1) == 0
+            node.finish(node.neighbors)
+
+        res = Network(g, prog).run()
+        assert res.outputs[0] == [1, 2]
+        assert res.outputs[1] == [0]

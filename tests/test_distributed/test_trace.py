@@ -1,0 +1,79 @@
+"""Tests for round-by-round tracing."""
+
+import pytest
+
+from repro.baselines.israeli_itai import israeli_itai_program
+from repro.distributed import Network
+from repro.distributed.trace import Tracer, RoundRecord, run_traced
+from repro.graphs import gnp_random, path_graph
+
+
+class TestRunTraced:
+    def test_per_round_totals_match_cumulative(self):
+        g = gnp_random(30, 0.15, seed=1)
+        net = Network(g, israeli_itai_program, seed=1)
+        res, tracer = run_traced(net)
+        assert sum(r.messages for r in tracer.records) == res.total_messages
+        assert sum(r.bits for r in tracer.records) == res.total_bits
+        assert len(tracer.records) == res.rounds
+
+    def test_equivalent_to_plain_run(self):
+        g = gnp_random(30, 0.15, seed=2)
+        plain = Network(g, israeli_itai_program, seed=7).run()
+        traced, _ = run_traced(Network(g, israeli_itai_program, seed=7))
+        assert traced.rounds == plain.rounds
+        assert traced.total_messages == plain.total_messages
+        assert traced.outputs == plain.outputs
+
+    def test_live_nodes_monotone_nonincreasing_for_ii(self):
+        g = gnp_random(25, 0.2, seed=3)
+        _, tracer = run_traced(Network(g, israeli_itai_program, seed=3))
+        lives = [r.live_nodes for r in tracer.records]
+        assert all(a >= b for a, b in zip(lives, lives[1:]))
+
+    def test_error_propagates(self):
+        def bad(node):
+            yield
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_traced(Network(path_graph(2), bad))
+
+    def test_empty_program(self):
+        def silent(node):
+            return
+            yield
+
+        res, tracer = run_traced(Network(path_graph(3), silent))
+        assert tracer.records == []
+        assert res.rounds == 0
+
+
+class TestTracer:
+    def test_sparkline_scales(self):
+        t = Tracer(
+            records=[
+                RoundRecord(i, msgs, 0, 0, 5)
+                for i, msgs in enumerate([0, 1, 2, 4, 8])
+            ]
+        )
+        line = t.sparkline("messages")
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        t = Tracer(
+            records=[RoundRecord(i, i % 7, 0, 0, 1) for i in range(300)]
+        )
+        assert len(t.sparkline("messages", width=50)) == 50
+
+    def test_sparkline_empty(self):
+        assert Tracer().sparkline() == "(no rounds)"
+
+    def test_summary(self):
+        t = Tracer(records=[RoundRecord(0, 3, 30, 10, 2), RoundRecord(1, 5, 50, 10, 2)])
+        s = t.summary()
+        assert s == {"rounds": 2, "messages": 8, "bits": 80, "peak_messages": 5}
+
+    def test_summary_empty(self):
+        assert Tracer().summary()["rounds"] == 0

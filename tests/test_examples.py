@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must actually run.
+
+The slow, load-sweeping examples (switch_scheduling,
+bipartite_vs_general) are exercised indirectly by the benchmarks that
+cover the same ground; here we execute the fast ones end to end and
+check their key printed facts.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "maximum matching |M*|" in out
+        assert "Israeli-Itai" in out
+        for k in (2, 3, 4):
+            assert f"paper, k={k}" in out
+
+    def test_figure1_walkthrough(self, capsys):
+        out = run_example("figure1_walkthrough.py", capsys)
+        assert "LEADER" in out
+        assert out.count("[OK]") == 2
+        assert "MISMATCH" not in out
+
+    def test_weighted_matching(self, capsys):
+        out = run_example("weighted_matching.py", capsys)
+        assert "Algorithm 5" in out
+        assert "derived weights" in out
+
+    def test_protocol_trace(self, capsys):
+        out = run_example("protocol_trace.py", capsys)
+        assert "Israeli-Itai" in out and "Luby" in out and "Aug" in out
+        assert out.count("msgs") == 3
+
+    def test_examples_directory_complete(self):
+        """All six documented examples exist and are nonempty."""
+        expected = {
+            "quickstart.py",
+            "switch_scheduling.py",
+            "weighted_matching.py",
+            "figure1_walkthrough.py",
+            "bipartite_vs_general.py",
+            "protocol_trace.py",
+        }
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= present
+        for name in expected:
+            assert (EXAMPLES / name).stat().st_size > 500

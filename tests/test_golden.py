@@ -1,0 +1,88 @@
+"""Golden regression snapshots.
+
+Fixed seeds, fixed graphs, exact expected outputs.  These catch
+*behavioral drift*: an innocent-looking change to RNG consumption,
+round framing, or tie-breaking will flip one of these before it flips
+a statistical test.  If a change is intentional (e.g. a protocol now
+uses one fewer round), update the constants and say why in the commit.
+"""
+
+from repro.baselines import (
+    hoepman_mwm,
+    israeli_itai_matching,
+    lps_mwm,
+    luby_mis,
+    ring_maximal_matching,
+)
+from repro.core import bipartite_mcm, general_mcm, generic_mcm, weighted_mwm
+from repro.graphs import bipartite_random, cycle_graph, gnp_random
+from repro.graphs.weights import assign_uniform_weights
+
+
+def _g():
+    return gnp_random(40, 0.1, seed=1234)
+
+
+def _gb():
+    return bipartite_random(20, 20, 0.15, seed=1234)
+
+
+def _gw():
+    return assign_uniform_weights(gnp_random(30, 0.15, seed=1234), seed=1234)
+
+
+class TestGoldenGraphs:
+    def test_gnp_snapshot(self):
+        g = _g()
+        assert (g.n, g.m) == (40, 68)
+        assert g.edges()[:3] == [(0, 36), (1, 3), (1, 28)]
+        assert g.max_degree() == 7
+
+    def test_bipartite_snapshot(self):
+        g, xs, ys = _gb()
+        assert (g.n, g.m) == (40, 66)
+
+    def test_weights_snapshot(self):
+        g = _gw()
+        assert round(g.total_weight(), 2) == 2958.24
+
+
+class TestGoldenAlgorithms:
+    def test_israeli_itai(self):
+        m, res = israeli_itai_matching(_g(), seed=99)
+        assert (len(m), res.rounds) == (18, 15)
+
+    def test_luby(self):
+        mis, res = luby_mis(_g(), seed=99)
+        assert (len(mis), res.rounds) == (17, 6)
+
+    def test_bipartite_mcm(self):
+        g, xs, _ = _gb()
+        m, res = bipartite_mcm(g, k=3, xs=xs, seed=99)
+        assert (len(m), res.rounds) == (18, 60)
+
+    def test_general_mcm(self):
+        m, res, outer = general_mcm(_g(), k=3, seed=99)
+        assert (len(m), outer) == (19, 79)
+
+    def test_generic_mcm(self):
+        m, stats = generic_mcm(_g(), k=2, seed=99)
+        assert len(m) == 18
+        assert stats.conflict_sizes[1] == 68
+
+    def test_weighted_mwm(self):
+        m, res, iters = weighted_mwm(_gw(), eps=0.1, seed=99)
+        assert iters == 23
+        assert round(m.weight(), 2) == 1040.27
+
+    def test_lps(self):
+        m, res = lps_mwm(_gw(), seed=99)
+        assert round(m.weight(), 2) == 827.24
+
+    def test_hoepman(self):
+        m, res = hoepman_mwm(_gw())
+        assert (round(m.weight(), 2), res.rounds) == (1043.87, 4)
+
+    def test_ring_matching(self):
+        m, res = ring_maximal_matching(cycle_graph(100))
+        assert (len(m), res.rounds) == (50, 16)

@@ -1,0 +1,182 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    bipartite_random,
+    complete_bipartite,
+    complete_graph,
+    crown_graph,
+    cycle_graph,
+    gnm_random,
+    gnp_random,
+    grid_graph,
+    path_graph,
+    random_regular,
+    random_tree,
+    star_graph,
+    switch_demand_graph,
+)
+
+
+class TestGnp:
+    def test_p_zero_empty(self):
+        assert gnp_random(10, 0.0, seed=1).m == 0
+
+    def test_p_one_complete(self):
+        g = gnp_random(6, 1.0, seed=1)
+        assert g.m == 15
+
+    def test_determinism(self):
+        a = gnp_random(50, 0.1, seed=7)
+        b = gnp_random(50, 0.1, seed=7)
+        assert a.edges() == b.edges()
+
+    def test_different_seeds_differ(self):
+        a = gnp_random(50, 0.1, seed=7)
+        b = gnp_random(50, 0.1, seed=8)
+        assert a.edges() != b.edges()
+
+    def test_expected_density(self):
+        # n=200, p=0.05: E[m] = 995; allow generous 5-sigma slack.
+        g = gnp_random(200, 0.05, seed=3)
+        expected = 0.05 * 200 * 199 / 2
+        sigma = np.sqrt(expected * 0.95)
+        assert abs(g.m - expected) < 5 * sigma
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_random(10, 1.5)
+
+    def test_no_duplicate_or_self_edges(self):
+        g = gnp_random(100, 0.2, seed=5)  # Graph() would raise otherwise
+        assert all(u < v for u, v in g.edges())
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random(20, 37, seed=2)
+        assert g.m == 37
+
+    def test_m_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random(4, 7)
+
+    def test_determinism(self):
+        assert gnm_random(30, 50, seed=4).edges() == gnm_random(30, 50, seed=4).edges()
+
+
+class TestBipartiteRandom:
+    def test_sides(self):
+        g, xs, ys = bipartite_random(5, 7, 0.5, seed=1)
+        assert xs == list(range(5))
+        assert ys == list(range(5, 12))
+        assert g.n == 12
+
+    def test_edges_cross_sides(self):
+        g, xs, ys = bipartite_random(6, 6, 0.4, seed=2)
+        xset = set(xs)
+        for u, v in g.edges():
+            assert (u in xset) != (v in xset)
+
+    def test_is_bipartite(self):
+        g, _, _ = bipartite_random(8, 8, 0.3, seed=3)
+        assert g.is_bipartite()
+
+
+class TestStructured:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.m == 10 and g.max_degree() == 4
+
+    def test_complete_bipartite(self):
+        g, xs, ys = complete_bipartite(3, 4)
+        assert g.m == 12
+        assert all(g.degree(x) == 4 for x in xs)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 6
+        assert g.m == 6
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.is_bipartite()
+
+    def test_crown(self):
+        g, xs, ys = crown_graph(4)
+        assert g.n == 8
+        assert g.m == 4 * 3  # K44 minus perfect matching
+        assert all(not g.has_edge(x, 4 + x) for x in range(4))
+        assert g.is_bipartite()
+
+    def test_crown_too_small(self):
+        with pytest.raises(ValueError):
+            crown_graph(2)
+
+
+class TestRandomTree:
+    def test_tree_edge_count(self):
+        for n in (1, 2, 3, 10, 50):
+            g = random_tree(n, seed=n)
+            assert g.m == max(0, n - 1)
+
+    def test_tree_connected(self):
+        g = random_tree(40, seed=9)
+        assert len(g.connected_components()) == 1
+
+    def test_determinism(self):
+        assert random_tree(25, seed=3).edges() == random_tree(25, seed=3).edges()
+
+
+class TestRandomRegular:
+    def test_degrees(self):
+        g = random_regular(20, 3, seed=1)
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular(4, 4)
+
+
+class TestSwitchDemand:
+    def test_bipartite_shape(self):
+        g, xs, ys = switch_demand_graph(8, 0.5, seed=1)
+        assert g.n == 16
+        assert g.is_bipartite()
+
+    def test_patterns_run(self):
+        for pattern in ("uniform", "diagonal", "hotspot"):
+            g, _, _ = switch_demand_graph(6, 0.4, pattern=pattern, seed=2)
+            assert g.n == 12
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            switch_demand_graph(4, 0.5, pattern="bogus")
+
+    def test_hotspot_skews_to_output_zero(self):
+        g, xs, ys = switch_demand_graph(16, 0.4, pattern="hotspot", seed=3)
+        deg0 = g.degree(16)  # output 0
+        others = [g.degree(y) for y in ys[1:]]
+        assert deg0 >= max(others)

@@ -1,0 +1,96 @@
+"""Tests for the extended graph families (hypercube, barbell, comb...)."""
+
+import pytest
+
+from repro.graphs import (
+    barbell_graph,
+    caterpillar_graph,
+    comb_graph,
+    hypercube_graph,
+)
+from repro.matching import greedy_maximal_matching, maximum_matching_size
+
+
+class TestHypercube:
+    def test_q0_and_q1(self):
+        assert hypercube_graph(0).n == 1
+        g = hypercube_graph(1)
+        assert g.n == 2 and g.m == 1
+
+    def test_q4_regular(self):
+        g = hypercube_graph(4)
+        assert g.n == 16 and g.m == 32
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_bipartite(self):
+        assert hypercube_graph(3).is_bipartite()
+
+    def test_perfect_matching(self):
+        g = hypercube_graph(3)
+        assert maximum_matching_size(g) == 4
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+
+class TestBarbell:
+    def test_structure(self):
+        g = barbell_graph(4, bridge=1)
+        assert g.n == 8
+        assert g.m == 2 * 6 + 1
+        assert len(g.connected_components()) == 1
+
+    def test_longer_bridge(self):
+        g = barbell_graph(3, bridge=3)
+        assert g.n == 2 * 3 + 2
+        assert len(g.connected_components()) == 1
+
+    def test_not_bipartite(self):
+        assert not barbell_graph(3).is_bipartite()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barbell_graph(1)
+        with pytest.raises(ValueError):
+            barbell_graph(3, bridge=0)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = caterpillar_graph(4, legs=2)
+        assert g.n == 4 + 8
+        assert g.m == 3 + 8
+        assert len(g.connected_components()) == 1
+
+    def test_tree(self):
+        g = caterpillar_graph(5, legs=1)
+        assert g.m == g.n - 1
+
+    def test_single_spine(self):
+        g = caterpillar_graph(1, legs=3)
+        assert g.n == 4 and g.degree(0) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            caterpillar_graph(0)
+
+
+class TestComb:
+    def test_structure(self):
+        g = comb_graph(6)
+        assert g.n == 12 and g.m == 5 + 6
+
+    def test_perfect_matching_exists(self):
+        assert maximum_matching_size(comb_graph(8)) == 8
+
+    def test_half_separation(self):
+        """The deterministic edge-order greedy gets stuck near ½."""
+        g = comb_graph(10)
+        m = greedy_maximal_matching(g)  # scans spine edges first
+        assert len(m) <= 6  # ~half of the perfect matching of 10
+        assert m.is_maximal()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            comb_graph(1)

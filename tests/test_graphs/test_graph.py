@@ -1,0 +1,169 @@
+"""Unit tests for the Graph data structure."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs import Graph
+
+from tests.conftest import graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+        assert g.max_degree() == 0
+
+    def test_vertices_range(self):
+        g = Graph(5)
+        assert list(g.vertices()) == [0, 1, 2, 3, 4]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            Graph(-1)
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(2, [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            Graph(3, [(0, 1)], [1.0, 2.0])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            Graph(3, [(0, 1)], [0.0])
+
+    def test_edges_normalized_to_sorted_pairs(self):
+        g = Graph(3, [(2, 0), (1, 2)])
+        assert g.edges() == [(0, 2), (1, 2)]
+
+
+class TestQueries:
+    def test_neighbors_port_order(self):
+        g = Graph(4, [(0, 2), (0, 1), (0, 3)])
+        assert g.neighbors(0) == [2, 1, 3]  # insertion order = ports
+
+    def test_incident_gives_edge_ids(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.incident(0) == [(1, 0), (2, 1)]
+
+    def test_degree_and_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.max_degree() == 3
+
+    def test_edge_id_symmetric(self):
+        g = Graph(3, [(1, 2)])
+        assert g.edge_id(1, 2) == g.edge_id(2, 1) == 0
+
+    def test_edge_id_missing_raises(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(KeyError):
+            g.edge_id(0, 2)
+
+    def test_has_edge(self):
+        g = Graph(3, [(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_unweighted_weight_is_one(self):
+        g = Graph(2, [(0, 1)])
+        assert g.weight(0, 1) == 1.0
+        assert not g.weighted
+
+    def test_weighted_lookup(self):
+        g = Graph(3, [(0, 1), (1, 2)], [2.5, 7.0])
+        assert g.weighted
+        assert g.weight(1, 0) == 2.5
+        assert g.edge_weight(1) == 7.0
+        assert g.total_weight() == 9.5
+
+    def test_total_weight_unweighted_counts_edges(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.total_weight() == 2.0
+
+
+class TestStructure:
+    def test_bipartition_even_cycle(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        part = g.bipartition()
+        assert part is not None
+        xs, ys = part
+        assert sorted(xs + ys) == [0, 1, 2, 3]
+        for u, v in g.edges():
+            assert (u in xs) != (v in xs)
+
+    def test_bipartition_odd_cycle_none(self, triangle):
+        assert triangle.bipartition() is None
+        assert not triangle.is_bipartite()
+
+    def test_isolated_vertices_on_x_side(self):
+        g = Graph(3, [(0, 1)])
+        xs, _ys = g.bipartition()
+        assert 2 in xs
+
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_subgraph_keeps_vertices_renumbers_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [1.0, 2.0, 3.0])
+        sub = g.subgraph([2, 0])
+        assert sub.n == 4
+        assert sub.edges() == [(0, 1), (2, 3)]
+        assert sub.weight(2, 3) == 3.0
+
+    def test_with_weights_replaces(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        g2 = g.with_weights([5.0, 6.0])
+        assert g2.weight(0, 1) == 5.0
+        assert g.weight(0, 1) == 1.0  # original untouched
+
+    def test_unweighted_strips(self):
+        g = Graph(2, [(0, 1)], [9.0])
+        assert not g.unweighted().weighted
+
+
+class TestProperties:
+    @given(graphs())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.m
+
+    @given(graphs())
+    def test_edge_ids_bijective(self, g):
+        for eid in g.edge_ids():
+            u, v = g.edge_endpoints(eid)
+            assert g.edge_id(u, v) == eid
+
+    @given(graphs())
+    def test_neighbors_symmetric(self, g):
+        for u, v in g.edges():
+            assert v in g.neighbors(u)
+            assert u in g.neighbors(v)
+
+    @given(graphs())
+    def test_components_partition_vertices(self, g):
+        comps = g.connected_components()
+        flat = [v for c in comps for v in c]
+        assert sorted(flat) == list(g.vertices())
+
+    @given(graphs())
+    def test_bipartition_covers_or_odd_cycle(self, g):
+        part = g.bipartition()
+        if part is not None:
+            xs, ys = part
+            assert sorted(xs + ys) == list(g.vertices())
+            xset = set(xs)
+            for u, v in g.edges():
+                assert (u in xset) != (v in xset)

@@ -1,0 +1,107 @@
+"""Tests for optimality certificates (König / Berge)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import bipartite_random, comb_graph, crown_graph, path_graph
+from repro.matching import (
+    Matching,
+    certified_ratio_lower_bound,
+    certify_maximum_bipartite,
+    certify_no_short_augmenting_path,
+    greedy_maximal_matching,
+    hopcroft_karp,
+    hopcroft_karp_truncated,
+    is_vertex_cover,
+    konig_vertex_cover,
+    verify_cover_certificate,
+)
+
+from tests.conftest import bipartite_graphs
+
+
+class TestKonig:
+    def test_cover_valid_on_maximum(self):
+        g, xs, _ = bipartite_random(15, 15, 0.2, seed=1)
+        m = hopcroft_karp(g, xs)
+        cover = konig_vertex_cover(g, m, xs)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) == len(m)
+        assert verify_cover_certificate(g, m, cover)
+
+    def test_crown(self):
+        g, xs, _ = crown_graph(6)
+        m = hopcroft_karp(g, xs)
+        assert certify_maximum_bipartite(g, m, xs)
+
+    def test_non_maximum_fails_certificate(self):
+        g = path_graph(4)
+        m = Matching(g, [(1, 2)])  # maximal but not maximum
+        assert not certify_maximum_bipartite(g, m)
+
+    def test_non_bipartite_fails_gracefully(self, triangle):
+        m = Matching(triangle, [(0, 1)])
+        assert not certify_maximum_bipartite(triangle, m)
+        with pytest.raises(ValueError):
+            konig_vertex_cover(triangle, m)
+
+    def test_empty_graph(self):
+        from repro.graphs import Graph
+
+        g = Graph(3)
+        m = Matching(g)
+        assert certify_maximum_bipartite(g, m)
+
+    @given(bipartite_graphs(max_side=7))
+    @settings(max_examples=60)
+    def test_hk_always_certifiable(self, gxy):
+        """König duality: every HK output carries a tight cover."""
+        g, xs, _ = gxy
+        m = hopcroft_karp(g, xs)
+        assert certify_maximum_bipartite(g, m, xs)
+
+    @given(bipartite_graphs(max_side=7))
+    @settings(max_examples=60)
+    def test_weak_duality(self, gxy):
+        """Any matching size ≤ any cover size."""
+        g, xs, _ = gxy
+        mstar = hopcroft_karp(g, xs)
+        cover = konig_vertex_cover(g, mstar, xs)
+        m = greedy_maximal_matching(g)
+        assert len(m) <= len(cover)
+
+
+class TestIsVertexCover:
+    def test_accepts(self):
+        g = path_graph(4)
+        assert is_vertex_cover(g, [1, 2])
+
+    def test_rejects(self):
+        g = path_graph(4)
+        assert not is_vertex_cover(g, [0, 3])
+
+    def test_empty_cover_of_empty_graph(self):
+        from repro.graphs import Graph
+
+        assert is_vertex_cover(Graph(5), [])
+
+
+class TestBergeBounded:
+    def test_maximal_certifies_half(self):
+        g = comb_graph(8)
+        m = greedy_maximal_matching(g)
+        assert certify_no_short_augmenting_path(g, m, 1)
+        assert certified_ratio_lower_bound(g, m, 7) >= 0.5
+
+    def test_truncated_hk_certifies_its_k(self):
+        for k in (1, 2, 3):
+            g, xs, _ = bipartite_random(12, 12, 0.25, seed=k)
+            m = hopcroft_karp_truncated(g, k, xs)
+            assert certify_no_short_augmenting_path(g, m, 2 * k - 1)
+            assert certified_ratio_lower_bound(g, m, 2 * k + 1) >= 1 - 1 / (k + 1)
+
+    def test_empty_matching_on_edges_fails(self):
+        g = path_graph(2)
+        m = Matching(g)
+        assert not certify_no_short_augmenting_path(g, m, 1)
+        assert certified_ratio_lower_bound(g, m, 5) == 0.0

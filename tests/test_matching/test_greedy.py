@@ -1,0 +1,60 @@
+"""Tests for the sequential greedy baselines (½ guarantees)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graphs import Graph, gnp_random
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import (
+    greedy_maximal_matching,
+    greedy_mwm,
+    maximum_matching_size,
+    maximum_matching_weight,
+)
+
+from tests.conftest import graphs
+
+
+class TestGreedyMaximal:
+    def test_maximality(self, small_random):
+        m = greedy_maximal_matching(small_random)
+        assert m.is_maximal()
+
+    def test_random_order_maximality(self, small_random):
+        m = greedy_maximal_matching(small_random, rng=np.random.default_rng(1))
+        assert m.is_maximal()
+
+    @given(graphs(max_n=11))
+    @settings(max_examples=60)
+    def test_half_guarantee(self, g):
+        m = greedy_maximal_matching(g)
+        assert 2 * len(m) >= maximum_matching_size(g)
+
+    def test_deterministic_without_rng(self, small_random):
+        a = greedy_maximal_matching(small_random)
+        b = greedy_maximal_matching(small_random)
+        assert a == b
+
+
+class TestGreedyMwm:
+    def test_prefers_heavy_edge(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [1.0, 5.0, 1.0])
+        m = greedy_mwm(g)
+        assert m.edges() == [(1, 2)]
+
+    def test_tie_break_by_edge_id(self):
+        g = Graph(4, [(0, 1), (2, 3)], [2.0, 2.0])
+        m = greedy_mwm(g)
+        assert m.edges() == [(0, 1), (2, 3)]
+
+    @given(graphs(max_n=10, weighted=True))
+    @settings(max_examples=60, deadline=None)
+    def test_half_weight_guarantee(self, g):
+        m = greedy_mwm(g)
+        assert 2 * m.weight() >= maximum_matching_weight(g) - 1e-9
+
+    def test_larger_random(self):
+        g = assign_uniform_weights(gnp_random(40, 0.15, seed=1), seed=2)
+        m = greedy_mwm(g)
+        assert 2 * m.weight() >= maximum_matching_weight(g) - 1e-9
+        assert m.is_maximal()

@@ -1,0 +1,108 @@
+"""Tests for the from-scratch Hungarian algorithm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.graphs import Graph, bipartite_random, complete_bipartite
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import (
+    hungarian_mwm,
+    max_weight_matching,
+    solve_assignment,
+)
+
+
+class TestSolveAssignment:
+    def test_identity_is_optimal(self):
+        cost = np.array([[0.0, 5.0], [5.0, 0.0]])
+        assert solve_assignment(cost) == [0, 1]
+
+    def test_swap_is_optimal(self):
+        cost = np.array([[5.0, 0.0], [0.0, 5.0]])
+        assert solve_assignment(cost) == [1, 0]
+
+    def test_single_cell(self):
+        assert solve_assignment(np.array([[3.0]])) == [0]
+
+    def test_negative_costs(self):
+        cost = np.array([[-9.0, 0.0], [0.0, -9.0]])
+        assert solve_assignment(cost) == [0, 1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment(np.zeros((2, 3)))
+
+    def test_permutation_output(self):
+        rng = np.random.default_rng(1)
+        cost = rng.normal(size=(7, 7))
+        col_of = solve_assignment(cost)
+        assert sorted(col_of) == list(range(7))
+
+    @given(st.integers(0, 10_000), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cost = rng.normal(size=(n, n)) * 10
+        col_of = solve_assignment(cost)
+        ours = sum(cost[i, col_of[i]] for i in range(n))
+        ri, ci = linear_sum_assignment(cost)
+        assert ours == pytest.approx(float(cost[ri, ci].sum()))
+
+
+class TestHungarianMwm:
+    def test_simple(self):
+        g = Graph(4, [(0, 2), (0, 3), (1, 2)], [5.0, 1.0, 4.0])
+        m = hungarian_mwm(g, xs=[0, 1])
+        # (0,3)+(1,2) = 5 == (0,2)=5 alone... actually 1+4=5 vs 5: tie;
+        # either way total weight 5.
+        assert m.weight() == pytest.approx(5.0)
+
+    def test_leaves_negative_value_unmatched(self):
+        # All-positive weights: still may leave vertices unmatched when
+        # sides are unbalanced.
+        g, xs, ys = complete_bipartite(2, 3)
+        g = g.with_weights([1.0] * g.m)
+        m = hungarian_mwm(g, xs)
+        assert len(m) == 2
+
+    def test_unweighted_graph_maximizes_cardinality(self):
+        g, xs, _ = bipartite_random(6, 6, 0.4, seed=1)
+        from repro.matching import hopcroft_karp
+
+        assert len(hungarian_mwm(g, xs)) == len(hopcroft_karp(g, xs))
+
+    def test_empty(self):
+        assert len(hungarian_mwm(Graph(4), xs=[0, 1])) == 0
+
+    def test_non_bipartite_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            hungarian_mwm(triangle)
+
+    def test_auto_bipartition(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [3.0, 9.0, 3.0])
+        assert hungarian_mwm(g).weight() == pytest.approx(9.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx_random(self, seed):
+        g, xs, _ = bipartite_random(7, 9, 0.4, seed=seed)
+        if g.m == 0:
+            return
+        g = assign_uniform_weights(g, seed=seed)
+        assert hungarian_mwm(g, xs).weight() == pytest.approx(
+            max_weight_matching(g).weight()
+        )
+
+    def test_matches_bitmask_dp(self):
+        from repro.matching import exact_mwm_small
+
+        for seed in range(5):
+            g, xs, _ = bipartite_random(5, 5, 0.5, seed=seed)
+            if g.m == 0:
+                continue
+            g = assign_uniform_weights(g, seed=seed)
+            assert hungarian_mwm(g, xs).weight() == pytest.approx(
+                exact_mwm_small(g).weight()
+            )

@@ -1,0 +1,123 @@
+"""Unit + property tests for the Matching data structure."""
+
+import pytest
+from hypothesis import given
+
+from repro.graphs import Graph, path_graph
+from repro.matching import Matching
+
+from tests.conftest import matchable
+
+
+class TestMutation:
+    def test_add_and_query(self, p4):
+        m = Matching(p4, [(1, 2)])
+        assert m.mate(1) == 2 and m.mate(2) == 1
+        assert len(m) == 1
+        assert (1, 2) in m and (2, 1) in m
+
+    def test_add_nonexistent_edge_rejected(self, p4):
+        m = Matching(p4)
+        with pytest.raises(ValueError, match="not an edge"):
+            m.add(0, 2)
+
+    def test_add_conflicting_rejected(self, p4):
+        m = Matching(p4, [(0, 1)])
+        with pytest.raises(ValueError, match="already matched"):
+            m.add(1, 2)
+
+    def test_remove(self, p4):
+        m = Matching(p4, [(1, 2)])
+        m.remove(1, 2)
+        assert len(m) == 0 and m.is_free(1)
+
+    def test_remove_absent_rejected(self, p4):
+        m = Matching(p4)
+        with pytest.raises(ValueError, match="not in matching"):
+            m.remove(1, 2)
+
+
+class TestQueries:
+    def test_free_vertices(self, p4):
+        m = Matching(p4, [(1, 2)])
+        assert m.free_vertices() == [0, 3]
+
+    def test_edges_sorted(self):
+        g = path_graph(6)
+        m = Matching(g, [(4, 5), (0, 1)])
+        assert m.edges() == [(0, 1), (4, 5)]
+        assert list(m) == [(0, 1), (4, 5)]
+
+    def test_weight_unweighted_is_cardinality(self, p4):
+        m = Matching(p4, [(0, 1)])
+        assert m.weight() == 1.0
+
+    def test_weight_weighted(self, weighted_square):
+        m = Matching(weighted_square, [(0, 1), (2, 3)])
+        assert m.weight() == 7.0
+
+    def test_copy_independent(self, p4):
+        m = Matching(p4, [(0, 1)])
+        c = m.copy()
+        c.remove(0, 1)
+        assert len(m) == 1 and len(c) == 0
+
+    def test_equality(self, p4):
+        assert Matching(p4, [(0, 1)]) == Matching(p4, [(0, 1)])
+        assert Matching(p4, [(0, 1)]) != Matching(p4)
+
+    def test_is_maximal(self, p4):
+        assert Matching(p4, [(1, 2)]).is_maximal()
+        assert not Matching(p4, [(0, 1)]).is_maximal()  # (2,3) addable
+
+    def test_empty_matching_maximal_iff_no_edges(self):
+        assert Matching(Graph(3)).is_maximal()
+        assert not Matching(path_graph(2)).is_maximal()
+
+
+class TestSymmetricDifference:
+    def test_augment_path(self, p4):
+        m = Matching(p4, [(1, 2)])
+        m2 = m.symmetric_difference([(0, 1), (1, 2), (2, 3)])
+        assert m2.edges() == [(0, 1), (2, 3)]
+
+    def test_disjoint_union(self, p4):
+        m = Matching(p4, [(0, 1)])
+        m2 = m.symmetric_difference([(2, 3)])
+        assert m2.edges() == [(0, 1), (2, 3)]
+
+    def test_invalid_result_rejected(self, p4):
+        m = Matching(p4, [(0, 1)])
+        with pytest.raises(ValueError):
+            m.symmetric_difference([(1, 2)])  # 1 doubly covered
+
+
+class TestProperties:
+    @given(matchable())
+    def test_construction_validates(self, gm):
+        g, edges = gm
+        m = Matching(g, edges)
+        assert len(m) == len(edges)
+        # no vertex covered twice, by construction
+        covered = [v for e in m.edges() for v in e]
+        assert len(covered) == len(set(covered))
+
+    @given(matchable())
+    def test_mate_involution(self, gm):
+        g, edges = gm
+        m = Matching(g, edges)
+        for v in g.vertices():
+            if m.mate(v) != -1:
+                assert m.mate(m.mate(v)) == v
+
+    @given(matchable())
+    def test_free_plus_matched_covers(self, gm):
+        g, edges = gm
+        m = Matching(g, edges)
+        assert len(m.free_vertices()) + 2 * len(m) == g.n
+
+    @given(matchable())
+    def test_self_symmetric_difference_empty(self, gm):
+        g, edges = gm
+        m = Matching(g, edges)
+        assert len(m.symmetric_difference(m.edges())) == 0

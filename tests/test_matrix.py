@@ -1,0 +1,90 @@
+"""Cross-product coverage matrix: every core algorithm × graph family.
+
+A compact, fully parametrized sweep asserting each theorem's guarantee
+on every family it applies to — the widest net in the suite.  Kept
+small per cell so the whole matrix stays fast.
+"""
+
+import pytest
+
+from repro.core import bipartite_mcm, general_mcm, generic_mcm, weighted_mwm
+from repro.graphs import (
+    bipartite_random,
+    caterpillar_graph,
+    comb_graph,
+    complete_bipartite,
+    crown_graph,
+    cycle_graph,
+    gnp_random,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_regular,
+    random_tree,
+    star_graph,
+)
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching import (
+    hopcroft_karp,
+    maximum_matching_size,
+    maximum_matching_weight,
+)
+
+BIPARTITE_FAMILIES = [
+    pytest.param(lambda: bipartite_random(15, 15, 0.2, seed=3)[0], id="bip-random"),
+    pytest.param(lambda: crown_graph(6)[0], id="crown"),
+    pytest.param(lambda: complete_bipartite(5, 8)[0], id="complete-bip"),
+    pytest.param(lambda: path_graph(14), id="path"),
+    pytest.param(lambda: grid_graph(4, 5), id="grid"),
+    pytest.param(lambda: comb_graph(7), id="comb"),
+    pytest.param(lambda: hypercube_graph(3), id="hypercube"),
+    pytest.param(lambda: random_tree(20, seed=3), id="tree"),
+    pytest.param(lambda: caterpillar_graph(6, 2), id="caterpillar"),
+    pytest.param(lambda: star_graph(9), id="star"),
+]
+
+GENERAL_FAMILIES = BIPARTITE_FAMILIES + [
+    pytest.param(lambda: gnp_random(25, 0.15, seed=3), id="gnp"),
+    pytest.param(lambda: cycle_graph(11), id="odd-cycle"),
+    pytest.param(lambda: random_regular(16, 3, seed=3), id="3-regular"),
+]
+
+
+class TestBipartiteMatrix:
+    @pytest.mark.parametrize("maker", BIPARTITE_FAMILIES)
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_theorem_38(self, maker, k):
+        g = maker()
+        m, res = bipartite_mcm(g, k=k, seed=7)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (1 - 1 / k) * opt - 1e-9
+        if k == 1:
+            assert m.is_maximal()
+
+
+class TestGeneralMatrix:
+    @pytest.mark.parametrize("maker", GENERAL_FAMILIES)
+    def test_theorem_311(self, maker):
+        g = maker()
+        m, _, _ = general_mcm(g, k=3, seed=7)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (2 / 3) * opt - 1e-9
+
+    @pytest.mark.parametrize("maker", GENERAL_FAMILIES)
+    def test_theorem_31(self, maker):
+        g = maker()
+        m, _ = generic_mcm(g, k=2, seed=7)
+        opt = maximum_matching_size(g)
+        assert len(m) >= (2 / 3) * opt - 1e-9
+
+
+class TestWeightedMatrix:
+    @pytest.mark.parametrize("maker", GENERAL_FAMILIES)
+    @pytest.mark.parametrize("box", ["sequential", "interleaved"])
+    def test_theorem_45(self, maker, box):
+        g = assign_uniform_weights(maker(), seed=7)
+        if g.m == 0:
+            return
+        m, _, _ = weighted_mwm(g, eps=0.1, seed=7, box=box)
+        opt = maximum_matching_weight(g)
+        assert m.weight() >= 0.4 * opt - 1e-9

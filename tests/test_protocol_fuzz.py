@@ -1,0 +1,127 @@
+"""Protocol fuzzing: invariant checks on randomized protocol runs.
+
+These tests hammer the message-passing protocols with random graphs,
+random initial matchings and random seeds, asserting the *structural*
+invariants that must survive any execution:
+
+* mate symmetry (both endpoints agree) — the wire protocol can't
+  half-apply an augmentation;
+* matching validity (no vertex doubly covered, all edges exist);
+* monotone matching growth for the cardinality protocols;
+* weight growth for Algorithm 5's wrap application;
+* conservation inside the switch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.israeli_itai import matching_from_mates
+from repro.core.bipartite_mcm import aug_bipartite
+from repro.core.general_mcm import _hat_graph
+from repro.graphs import bipartite_random, gnp_random
+from repro.matching import Matching
+
+_fuzz = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_matching_mates(g, rng):
+    mates = [-1] * g.n
+    edges = list(g.edges())
+    rng.shuffle(edges)
+    for u, v in edges:
+        if mates[u] == -1 and mates[v] == -1 and rng.random() < 0.5:
+            mates[u] = v
+            mates[v] = u
+    return mates
+
+
+class TestAugProtocolFuzz:
+    @given(
+        seed=st.integers(0, 10_000),
+        nx=st.integers(3, 12),
+        ell=st.sampled_from([1, 3, 5]),
+    )
+    @_fuzz
+    def test_one_iteration_preserves_invariants(self, seed, nx, ell):
+        rng = np.random.default_rng(seed)
+        g, xs, _ = bipartite_random(nx, nx, 0.3, seed=seed)
+        xside = [v < nx for v in range(g.n)]
+        mates0 = _random_matching_mates(g, rng)
+        before = matching_from_mates(g, dict(enumerate(mates0)))
+        mates, _, _ = aug_bipartite(
+            g, xside, mates0, ell, seed=seed, iters=1, adaptive=False
+        )
+        after = matching_from_mates(g, dict(enumerate(mates)))  # validates
+        # Cardinality protocols only ever augment.
+        assert len(after) >= len(before)
+        # Matched pairs must still be graph edges on the right sides.
+        for u, v in after.edges():
+            assert g.has_edge(u, v)
+            assert xside[u] != xside[v]
+
+    @given(seed=st.integers(0, 10_000), nx=st.integers(3, 10))
+    @_fuzz
+    def test_full_phase_reaches_maximality_certificate(self, seed, nx):
+        g, xs, _ = bipartite_random(nx, nx, 0.35, seed=seed)
+        xside = [v < nx for v in range(g.n)]
+        mates, _, _ = aug_bipartite(g, xside, [-1] * g.n, 1, seed=seed)
+        m = matching_from_mates(g, dict(enumerate(mates)))
+        assert m.is_maximal()
+
+
+class TestHatGraphFuzz:
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 16))
+    @_fuzz
+    def test_hat_graph_wellformed(self, seed, n):
+        rng = np.random.default_rng(seed)
+        g = gnp_random(n, 0.3, seed=seed)
+        mates = _random_matching_mates(g, rng)
+        red = rng.integers(0, 2, g.n).astype(bool)
+        ghat, xside = _hat_graph(g, mates, red)
+        # Every Ĝ edge is bichromatic and between Ĝ members.
+        for u, v in ghat.edges():
+            assert red[u] != red[v]
+            for w in (u, v):
+                mw = mates[w]
+                assert mw == -1 or red[w] != red[mw]
+        # M̂ = matched bichromatic edges all survive into Ĝ.
+        for v in range(g.n):
+            mv = mates[v]
+            if mv > v and red[v] != red[mv]:
+                assert ghat.has_edge(v, mv)
+
+
+class TestWrapFuzz:
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 14))
+    @_fuzz
+    def test_wrap_application_always_valid_and_gaining(self, seed, n):
+        from repro.core.weighted_mwm import apply_wraps, derived_weights
+        from repro.graphs.weights import assign_uniform_weights
+        from repro.matching.greedy import greedy_maximal_matching
+
+        rng = np.random.default_rng(seed)
+        g = assign_uniform_weights(gnp_random(n, 0.35, seed=seed), seed=seed)
+        m = greedy_maximal_matching(g, rng=rng)
+        wm = derived_weights(g, m)
+        positives = [e for e in g.edge_ids() if wm[e] > 0]
+        rng.shuffle(positives)
+        # Greedily pick a vertex-disjoint positive-gain M' and apply.
+        used: set[int] = set()
+        mprime = []
+        for e in positives:
+            u, v = g.edge_endpoints(e)
+            block = {u, v, m.mate(u), m.mate(v)} - {-1}
+            if not block & used:
+                mprime.append((u, v))
+                used |= block
+        if not mprime:
+            return
+        m2 = apply_wraps(m, mprime)  # Matching() validates structure
+        gain = sum(wm[g.edge_id(u, v)] for u, v in mprime)
+        assert m2.weight() >= m.weight() + gain - 1e-9

@@ -1,0 +1,78 @@
+"""Tests for switch traffic generators."""
+
+import pytest
+
+from repro.switch import bernoulli_uniform, diagonal, hotspot
+
+
+class TestBernoulliUniform:
+    def test_load_zero_silent(self):
+        gen = bernoulli_uniform(8, 0.0, seed=1)
+        assert all(gen(t) == [] for t in range(20))
+
+    def test_load_one_every_input(self):
+        gen = bernoulli_uniform(8, 1.0, seed=2)
+        for t in range(5):
+            assert len(gen(t)) == 8
+
+    def test_mean_rate(self):
+        gen = bernoulli_uniform(16, 0.5, seed=3)
+        total = sum(len(gen(t)) for t in range(500))
+        assert abs(total / (500 * 16) - 0.5) < 0.05
+
+    def test_destinations_in_range(self):
+        gen = bernoulli_uniform(4, 0.8, seed=4)
+        for t in range(50):
+            for i, j in gen(t):
+                assert 0 <= i < 4 and 0 <= j < 4
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            bernoulli_uniform(4, 1.5)
+
+    def test_determinism(self):
+        a = bernoulli_uniform(8, 0.5, seed=5)
+        b = bernoulli_uniform(8, 0.5, seed=5)
+        assert [a(t) for t in range(10)] == [b(t) for t in range(10)]
+
+
+class TestDiagonal:
+    def test_destinations_near_diagonal(self):
+        gen = diagonal(8, 1.0, seed=6)
+        for t in range(50):
+            for i, j in gen(t):
+                assert j in (i, (i + 1) % 8)
+
+    def test_split_ratio(self):
+        gen = diagonal(8, 1.0, seed=7)
+        same = other = 0
+        for t in range(500):
+            for i, j in gen(t):
+                if j == i:
+                    same += 1
+                else:
+                    other += 1
+        assert 1.5 < same / other < 2.7  # nominal ratio 2:1
+
+
+class TestHotspot:
+    def test_hot_output_share(self):
+        gen = hotspot(8, 1.0, hot_fraction=0.5, seed=8)
+        hot = total = 0
+        for t in range(500):
+            for _, j in gen(t):
+                total += 1
+                hot += j == 0
+        assert abs(hot / total - 0.5) < 0.12  # output 0 also gets uniform share
+
+    def test_zero_fraction_roughly_uniform(self):
+        gen = hotspot(8, 1.0, hot_fraction=0.0, seed=9)
+        counts = [0] * 8
+        for t in range(400):
+            for _, j in gen(t):
+                counts[j] += 1
+        assert max(counts) < 3 * min(c for c in counts if c)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            hotspot(4, 0.5, hot_fraction=1.5)
