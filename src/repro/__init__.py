@@ -5,8 +5,10 @@ Public API quick map
 --------------------
 
 Graphs (:mod:`repro.graphs`)
-    ``Graph``, generators (``gnp_random``, ``bipartite_random``, ...),
-    weight assignment helpers.
+    ``Graph``, generators (``gnp_random``, ``bipartite_random``, and
+    the scenario families ``barabasi_albert``, ``watts_strogatz``,
+    ``powerlaw_configuration``, ``kronecker``, ``planted_matching``,
+    ``lollipop_graph``, ...), weight assignment helpers.
 
 Distributed simulator (:mod:`repro.distributed`)
     ``Network`` runs generator node programs in synchronous rounds and
@@ -27,6 +29,13 @@ Exact oracles (:mod:`repro.matching`)
 Switch application (:mod:`repro.switch`)
     Input-queued switch simulation comparing schedulers (the paper's
     motivating example).
+
+Experiment harness (:mod:`repro.analysis`)
+    ``ParallelRunner`` fans sweep cells over processes with
+    deterministic ``SeedSequence`` seeding and JSONL artifacts;
+    :mod:`repro.analysis.scenarios` runs the algorithm × graph-family
+    matrix (``scenario_matrix``, also ``python -m repro scenarios``);
+    statistics and table rendering for the benchmarks.
 
 Quickstart
 ----------

@@ -1,10 +1,28 @@
 """Experiment harness: sweep running, statistics, table rendering.
 
 Shared by every benchmark in ``benchmarks/`` so the printed
-claim-vs-measured tables all look alike.
+claim-vs-measured tables all look alike.  :class:`ParallelRunner`
+fans sweep cells out over processes with deterministic per-cell
+seeding; :mod:`repro.analysis.scenarios` pins the algorithm × graph-
+family matrix the "for all graphs" theorems are spot-checked on.
 """
 
-from repro.analysis.runner import ExperimentResult, repeat, sweep
+from repro.analysis.runner import (
+    ExperimentResult,
+    ParallelRunner,
+    cell_seeds,
+    load_artifact,
+    repeat,
+    sweep,
+)
+from repro.analysis.scenarios import (
+    ALGORITHMS,
+    SCENARIOS,
+    build_scenario,
+    run_scenario_cell,
+    scenario_matrix,
+    scenario_table,
+)
 from repro.analysis.stats import (
     doubling_ratios,
     log_fit,
@@ -15,8 +33,17 @@ from repro.analysis.tables import format_series, format_table, print_banner
 
 __all__ = [
     "ExperimentResult",
+    "ParallelRunner",
+    "cell_seeds",
+    "load_artifact",
     "repeat",
     "sweep",
+    "ALGORITHMS",
+    "SCENARIOS",
+    "build_scenario",
+    "run_scenario_cell",
+    "scenario_matrix",
+    "scenario_table",
     "doubling_ratios",
     "log_fit",
     "mean_ci",

@@ -1,9 +1,31 @@
-"""Seeded repetition and parameter sweeps for experiments."""
+"""Seeded repetition and parameter sweeps for experiments.
+
+The workhorse is :class:`ParallelRunner`, which fans the cells of a
+parameter sweep out over ``multiprocessing`` workers.  Determinism is
+by construction: every cell is a pure function of its parameter point
+and seed list, cells are dispatched with ``imap`` (submission order),
+and per-cell seeds are derived by spawning a ``SeedSequence`` per cell
+index — so 1 worker and N workers produce identical records, and a
+re-run with the same root seed reproduces the sweep byte for byte.
+
+Results can be streamed to a JSON-lines artifact as cells complete
+(:meth:`ParallelRunner.sweep` with ``artifact=``), and loaded back
+with :func:`load_artifact`.
+
+The module-level :func:`repeat` / :func:`sweep` are thin sequential
+wrappers kept for compatibility with the existing benchmarks; they
+accept lambdas/closures (nothing is pickled on the 1-worker path).
+"""
 
 from __future__ import annotations
 
+import json
+import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
 
 
 @dataclass
@@ -20,15 +42,163 @@ class ExperimentResult:
     def mean(self, key: str) -> float:
         """Mean of a measured quantity over seeds."""
         col = self.column(key)
+        if not col:
+            raise ValueError(
+                f"cannot average {key!r}: cell {self.params!r} has no records"
+            )
         return sum(col) / len(col)
 
     def min(self, key: str) -> float:
         """Minimum over seeds (for 'holds on every seed' claims)."""
-        return min(self.column(key))
+        col = self.column(key)
+        if not col:
+            raise ValueError(
+                f"cannot take min of {key!r}: cell {self.params!r} has no records"
+            )
+        return min(col)
 
     def max(self, key: str) -> float:
         """Maximum over seeds."""
-        return max(self.column(key))
+        col = self.column(key)
+        if not col:
+            raise ValueError(
+                f"cannot take max of {key!r}: cell {self.params!r} has no records"
+            )
+        return max(col)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {"params": self.params, "records": self.records}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(params=dict(d["params"]), records=list(d["records"]))
+
+
+def cell_seeds(root_seed: int, n_cells: int, seeds_per_cell: int) -> list[list[int]]:
+    """Deterministic per-cell seed lists via ``SeedSequence`` spawning.
+
+    Cell ``i`` gets ``seeds_per_cell`` 32-bit seeds from the ``i``-th
+    spawned child of ``SeedSequence(root_seed)`` — independent streams
+    across cells, reproducible regardless of how cells are scheduled.
+    """
+    seq = np.random.SeedSequence(root_seed)
+    return [
+        [int(x) for x in child.generate_state(seeds_per_cell)]
+        for child in seq.spawn(n_cells)
+    ]
+
+
+def _run_repeat_cell(job: tuple) -> list[dict[str, float]]:
+    """Worker: ``fn(seed)`` for each seed of one repeat cell."""
+    fn, seeds = job
+    return [fn(s) for s in seeds]
+
+
+def _run_sweep_cell(job: tuple) -> list[dict[str, float]]:
+    """Worker: ``fn(seed=s, **point)`` for each seed of one sweep cell."""
+    fn, point, seeds = job
+    return [fn(seed=s, **point) for s in seeds]
+
+
+class ParallelRunner:
+    """Fans experiment cells out over ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  With
+        ``workers <= 1`` everything runs in-process (no pickling, so
+        lambdas and closures are fine).  With more, the experiment
+        function and its records must be picklable.
+
+    Records are returned in cell submission order in both modes, so the
+    worker count never changes the output — only the wall clock.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def _map(
+        self, worker: Callable[[tuple], list[dict[str, float]]], jobs: list[tuple]
+    ) -> Iterator[list[dict[str, float]]]:
+        if self.workers <= 1 or len(jobs) <= 1:
+            yield from map(worker, jobs)
+            return
+        with multiprocessing.Pool(min(self.workers, len(jobs))) as pool:
+            yield from pool.imap(worker, jobs)
+
+    def repeat(
+        self,
+        fn: Callable[[int], dict[str, float]],
+        seeds: Iterable[int],
+        params: dict[str, Any] | None = None,
+    ) -> ExperimentResult:
+        """Run ``fn(seed)`` per seed, seeds split across workers."""
+        seeds = list(seeds)
+        jobs = [(fn, [s]) for s in seeds]
+        res = ExperimentResult(params or {})
+        for recs in self._map(_run_repeat_cell, jobs):
+            res.records.extend(recs)
+        return res
+
+    def sweep(
+        self,
+        fn: Callable[..., dict[str, float]],
+        points: Iterable[dict[str, Any]],
+        seeds: Iterable[int] | None = None,
+        root_seed: int = 0,
+        seeds_per_cell: int = 3,
+        artifact: str | os.PathLike | None = None,
+    ) -> list[ExperimentResult]:
+        """Full sweep: each parameter point is one cell, fanned out.
+
+        ``fn`` is called as ``fn(seed=s, **point)``.  With explicit
+        ``seeds`` every cell repeats over that same list (the classic
+        :func:`sweep` semantics); with ``seeds=None`` each cell gets
+        its own independent ``seeds_per_cell`` seeds via
+        :func:`cell_seeds` spawned from ``root_seed``.
+
+        When ``artifact`` names a path, one JSON line per cell is
+        streamed to it as cells complete (in submission order), so a
+        long sweep is inspectable — and recoverable — mid-flight.
+        """
+        points = [dict(p) for p in points]
+        if seeds is not None:
+            seed_lists = [list(seeds)] * len(points)
+        else:
+            seed_lists = cell_seeds(root_seed, len(points), seeds_per_cell)
+        jobs = [(fn, p, s) for p, s in zip(points, seed_lists)]
+        out: list[ExperimentResult] = []
+        sink = open(artifact, "w") if artifact is not None else None
+        try:
+            for point, recs in zip(points, self._map(_run_sweep_cell, jobs)):
+                cell = ExperimentResult(point, recs)
+                out.append(cell)
+                if sink is not None:
+                    json.dump(cell.to_dict(), sink, sort_keys=True)
+                    sink.write("\n")
+                    sink.flush()
+        finally:
+            if sink is not None:
+                sink.close()
+        return out
+
+
+def load_artifact(path: str | os.PathLike) -> list[ExperimentResult]:
+    """Load the JSON-lines artifact written by :meth:`ParallelRunner.sweep`."""
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(ExperimentResult.from_dict(json.loads(line)))
+    return out
 
 
 def repeat(
@@ -36,11 +206,11 @@ def repeat(
     seeds: Iterable[int],
     params: dict[str, Any] | None = None,
 ) -> ExperimentResult:
-    """Run ``fn(seed)`` for each seed, collecting its measurement dicts."""
-    res = ExperimentResult(params or {})
-    for s in seeds:
-        res.records.append(fn(s))
-    return res
+    """Run ``fn(seed)`` for each seed, collecting its measurement dicts.
+
+    Compatibility wrapper over the in-process :class:`ParallelRunner`.
+    """
+    return ParallelRunner(workers=1).repeat(fn, seeds, params)
 
 
 def sweep(
@@ -50,10 +220,7 @@ def sweep(
 ) -> list[ExperimentResult]:
     """Full sweep: for each parameter point, repeat over seeds.
 
-    ``fn`` is called as ``fn(seed=s, **point)``.
+    ``fn`` is called as ``fn(seed=s, **point)``.  Compatibility wrapper
+    over the in-process :class:`ParallelRunner`.
     """
-    seeds = list(seeds)
-    out = []
-    for point in points:
-        out.append(repeat(lambda s, p=point: fn(seed=s, **p), seeds, dict(point)))
-    return out
+    return ParallelRunner(workers=1).sweep(fn, points, seeds=list(seeds))

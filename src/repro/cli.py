@@ -8,6 +8,7 @@ Gives downstream users the paper's algorithms without writing Python:
 * ``python -m repro generic   --n 30 --p 0.1 --k 2``     (Theorem 3.1)
 * ``python -m repro baselines --n 80 --p 0.06``          (II / greedy / LPS / Hoepman)
 * ``python -m repro switch    --ports 16 --load 0.9``    (scheduler comparison)
+* ``python -m repro scenarios --size 24 --workers 4``    (algorithm × family matrix)
 * ``python -m repro file <edgelist> --algo bipartite --k 3``  (your own graph)
 
 Every command prints the matching size/weight, the exact optimum, the
@@ -140,6 +141,66 @@ def cmd_switch(args) -> int:
     return 0
 
 
+def cmd_scenarios(args) -> int:
+    from repro.analysis.scenarios import (
+        ALGORITHMS,
+        SCENARIOS,
+        scenario_matrix,
+        scenario_table,
+    )
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 1
+    if args.repeats < 1:
+        print(f"error: --repeats must be >= 1, got {args.repeats}", file=sys.stderr)
+        return 1
+    if args.size < 8:
+        print(f"error: --size must be >= 8, got {args.size}", file=sys.stderr)
+        return 1
+    scenarios = args.family or None
+    algos = args.algo or None
+    for name in scenarios or ():
+        if name not in SCENARIOS:
+            print(f"error: unknown family {name!r}; "
+                  f"known: {' '.join(sorted(SCENARIOS))}", file=sys.stderr)
+            return 1
+    for name in algos or ():
+        if name not in ALGORITHMS:
+            print(f"error: unknown algorithm {name!r}; "
+                  f"known: {' '.join(sorted(ALGORITHMS))}", file=sys.stderr)
+            return 1
+    try:
+        results = scenario_matrix(
+            scenarios=scenarios,
+            algos=algos,
+            size=args.size,
+            seeds=range(args.seed, args.seed + args.repeats),
+            workers=args.workers,
+            artifact=args.out,
+        )
+    except OSError as e:
+        if args.out is None:
+            raise
+        print(f"error: cannot write artifact {args.out}: {e}", file=sys.stderr)
+        return 1
+    n_cells = len(results)
+    print(f"scenario matrix: {n_cells} cells "
+          f"({args.repeats} seed(s) each, {args.workers} worker(s))")
+    print(scenario_table(results))
+    if args.out:
+        print(f"(records streamed to {args.out})")
+    bad = [
+        r.params for r in results
+        if any(rec.get("ok") == 0.0 for rec in r.records)
+    ]
+    if bad:
+        print(f"error: {len(bad)} cell(s) below the paper bound: {bad}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -219,6 +280,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--k", type=int, default=3)
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(fn=cmd_switch)
+
+    sp = sub.add_parser(
+        "scenarios", help="run every core algorithm on every graph family"
+    )
+    sp.add_argument("--size", type=int, default=20, help="graph scale per cell")
+    sp.add_argument("--repeats", type=int, default=2, help="seeds per cell")
+    sp.add_argument("--workers", type=int, default=1, help="worker processes")
+    sp.add_argument("--family", action="append", metavar="NAME",
+                    help="restrict to a family (repeatable)")
+    sp.add_argument("--algo", action="append", metavar="NAME",
+                    help="restrict to an algorithm (repeatable)")
+    sp.add_argument("--out", default=None, help="stream JSONL records here")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=cmd_scenarios)
 
     sp = sub.add_parser("report", help="write a Markdown reproduction snapshot")
     sp.add_argument("--out", default="REPORT.md")

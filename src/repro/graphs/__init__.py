@@ -6,6 +6,7 @@ all simulator and algorithm code builds on :class:`repro.graphs.Graph`.
 
 from repro.graphs.graph import Graph
 from repro.graphs.generators import (
+    barabasi_albert,
     barbell_graph,
     bipartite_random,
     caterpillar_graph,
@@ -18,11 +19,16 @@ from repro.graphs.generators import (
     gnp_random,
     grid_graph,
     hypercube_graph,
+    kronecker,
+    lollipop_graph,
     path_graph,
+    planted_matching,
+    powerlaw_configuration,
     random_regular,
     random_tree,
     star_graph,
     switch_demand_graph,
+    watts_strogatz,
 )
 from repro.graphs.weights import (
     assign_exponential_weights,
@@ -33,6 +39,7 @@ from repro.graphs.io import read_edgelist, write_edgelist
 
 __all__ = [
     "Graph",
+    "barabasi_albert",
     "barbell_graph",
     "bipartite_random",
     "caterpillar_graph",
@@ -45,11 +52,16 @@ __all__ = [
     "gnm_random",
     "gnp_random",
     "grid_graph",
+    "kronecker",
+    "lollipop_graph",
     "path_graph",
+    "planted_matching",
+    "powerlaw_configuration",
     "random_regular",
     "random_tree",
     "star_graph",
     "switch_demand_graph",
+    "watts_strogatz",
     "assign_exponential_weights",
     "assign_integer_weights",
     "assign_uniform_weights",

@@ -12,7 +12,17 @@ experiment is reproducible.  Families:
   from the paper's (1−1/k) algorithms;
 * bipartite demand graphs modelling the switch-scheduling workload the
   paper's introduction motivates (input ports × output ports, an edge
-  per non-empty virtual output queue).
+  per non-empty virtual output queue);
+* scenario families for the "for all graphs" claims (Thms 3.1, 3.8,
+  3.11, 4.5): scale-free preferential attachment (``barabasi_albert``),
+  small-world rings (``watts_strogatz``), heavy-tailed configuration
+  graphs (``powerlaw_configuration``), stochastic Kronecker graphs
+  (``kronecker``), adversarial planted-matching instances
+  (``planted_matching``) and high-Δ ``lollipop_graph`` stress cases.
+
+The random families are sampled with NumPy batch operations (stub
+shuffles, Bernoulli masks, vectorized unranking) rather than per-edge
+Python loops, so million-edge instances stay cheap.
 """
 
 from __future__ import annotations
@@ -285,6 +295,222 @@ def comb_graph(teeth: int) -> Graph:
     edges = [(i, i + 1) for i in range(teeth - 1)]  # spine
     edges += [(i, teeth + i) for i in range(teeth)]  # leaves
     return Graph(2 * teeth, edges)
+
+
+def barabasi_albert(
+    n: int, m_attach: int = 2, seed: int | np.random.Generator | None = 0
+) -> Graph:
+    """Barabási–Albert preferential attachment (scale-free degrees).
+
+    Starts from K_{m_attach+1}; every later vertex attaches to
+    ``m_attach`` distinct existing vertices chosen proportionally to
+    degree, via the repeated-endpoints pool (each vertex appears in the
+    pool once per incident edge, so a uniform pool draw *is* a
+    degree-proportional draw).  Every vertex ends with degree ≥
+    ``m_attach``; hub degrees follow the familiar power law, the
+    high-skew regime the matching algorithms' Δ-dependent round bounds
+    care about.
+    """
+    if m_attach < 1:
+        raise ValueError(f"m_attach must be >= 1, got {m_attach}")
+    if n <= m_attach + 1:
+        raise ValueError(f"need n > m_attach+1 = {m_attach + 1}, got n={n}")
+    rng = _rng(seed)
+    m0 = m_attach + 1
+    edges = [(u, v) for u in range(m0) for v in range(u + 1, m0)]
+    total_edges = len(edges) + (n - m0) * m_attach
+    pool = np.empty(2 * total_edges, dtype=np.int64)
+    fill = 2 * len(edges)
+    pool[:fill] = np.repeat(np.arange(m0), m_attach)
+    for v in range(m0, n):
+        targets: set[int] = set()
+        while len(targets) < m_attach:
+            draw = rng.choice(pool[:fill], size=m_attach - len(targets))
+            targets.update(int(t) for t in draw)
+        for t in sorted(targets):
+            edges.append((t, v))
+            pool[fill] = t
+            pool[fill + 1] = v
+            fill += 2
+    return Graph(n, edges)
+
+
+def watts_strogatz(
+    n: int,
+    k: int = 4,
+    beta: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> Graph:
+    """Watts–Strogatz small-world graph.
+
+    A ring lattice (each vertex joined to its ``k//2`` nearest
+    neighbours on each side, built with vectorized offset arithmetic)
+    whose far endpoints are rewired independently with probability
+    ``beta``.  Interpolates between the high-girth structured regime
+    (β=0) and G(n, k/n)-like randomness (β=1).
+    """
+    if k % 2 != 0:
+        raise ValueError(f"k must be even, got {k}")
+    if not 2 <= k < n:
+        raise ValueError(f"need 2 <= k < n, got k={k}, n={n}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"beta must be in [0,1], got {beta}")
+    rng = _rng(seed)
+    base = np.arange(n)
+    lattice: list[tuple[int, int]] = []
+    for d in range(1, k // 2 + 1):
+        far = (base + d) % n
+        lattice.extend(zip(base.tolist(), far.tolist()))
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in lattice:
+        adj[u].add(v)
+        adj[v].add(u)
+    rewire = rng.random(len(lattice)) < beta
+    edges: list[tuple[int, int]] = []
+    for (u, v), rw in zip(lattice, rewire.tolist()):
+        if rw and len(adj[u]) < n - 1:
+            w = int(rng.integers(n))
+            while w == u or w in adj[u]:
+                w = int(rng.integers(n))
+            adj[u].remove(v)
+            adj[v].remove(u)
+            adj[u].add(w)
+            adj[w].add(u)
+            v = w
+        edges.append((u, v))
+    return Graph(n, edges)
+
+
+def powerlaw_configuration(
+    n: int,
+    gamma: float = 2.5,
+    min_deg: int = 1,
+    seed: int | np.random.Generator | None = 0,
+) -> Graph:
+    """Erased configuration model with power-law degrees P(d) ∝ d^−γ.
+
+    Degrees are drawn by vectorized inverse-transform sampling from a
+    discrete Pareto tail (clipped to n−1), the stub multiset is paired
+    by one NumPy shuffle, and self-loops / parallel edges are *erased*
+    (the standard simple-graph variant, so the realized degrees are a
+    lower bound on the drawn ones).  Heavy-tailed degree sequences are
+    the classic stress case for Δ-dependent distributed algorithms.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if gamma <= 1.0:
+        raise ValueError(f"gamma must exceed 1, got {gamma}")
+    if min_deg < 1:
+        raise ValueError(f"min_deg must be >= 1, got {min_deg}")
+    rng = _rng(seed)
+    u = rng.random(n)
+    degrees = np.minimum(
+        np.floor(min_deg * (1.0 - u) ** (-1.0 / (gamma - 1.0))).astype(np.int64),
+        n - 1,
+    )
+    if int(degrees.sum()) % 2 != 0:
+        degrees[0] += 1 if degrees[0] < n - 1 else -1
+    stubs = np.repeat(np.arange(n), degrees)
+    rng.shuffle(stubs)
+    pairs = stubs.reshape(-1, 2)
+    lo = np.minimum(pairs[:, 0], pairs[:, 1])
+    hi = np.maximum(pairs[:, 0], pairs[:, 1])
+    keep = lo != hi  # erase self-loops
+    unique = np.unique(np.stack([lo[keep], hi[keep]], axis=1), axis=0)
+    return Graph(n, [(int(a), int(b)) for a, b in unique])
+
+
+def kronecker(
+    power: int,
+    initiator: list[list[float]] | np.ndarray | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> Graph:
+    """Stochastic Kronecker graph on ``k^power`` vertices.
+
+    The edge-probability matrix is the ``power``-fold Kronecker power
+    of the ``k × k`` ``initiator`` (default the standard core-periphery
+    seed [[0.9, 0.6], [0.6, 0.3]]); the upper triangle is sampled with
+    one vectorized Bernoulli draw.  Produces self-similar,
+    core-periphery community structure at every scale.
+    """
+    if power < 1:
+        raise ValueError(f"power must be >= 1, got {power}")
+    if initiator is None:
+        initiator = [[0.9, 0.6], [0.6, 0.3]]
+    p0 = np.asarray(initiator, dtype=float)
+    if p0.ndim != 2 or p0.shape[0] != p0.shape[1] or p0.shape[0] < 2:
+        raise ValueError("initiator must be a square matrix of size >= 2")
+    if np.any(p0 < 0.0) or np.any(p0 > 1.0):
+        raise ValueError("initiator entries must be probabilities in [0,1]")
+    if p0.shape[0] ** power > 1 << 13:
+        raise ValueError(
+            f"{p0.shape[0]}^{power} vertices is too large for the dense sampler"
+        )
+    prob = p0
+    for _ in range(power - 1):
+        prob = np.kron(prob, p0)
+    n = prob.shape[0]
+    rng = _rng(seed)
+    mask = np.triu(rng.random((n, n)) < prob, k=1)
+    us, vs = np.nonzero(mask)
+    return Graph(n, list(zip(us.tolist(), vs.tolist())))
+
+
+def planted_matching(
+    n: int,
+    noise: float = 0.1,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[Graph, list[tuple[int, int]]]:
+    """Adversarial instance: a hidden perfect matching inside noise.
+
+    A uniformly random perfect matching on the (even) ``n`` vertices is
+    planted, then every other pair becomes a noise edge independently
+    with probability ``noise`` (one vectorized Bernoulli mask).  The
+    planted pairs are edges 0..n/2−1, so greedy/maximal baselines that
+    commit to noise edges strand planted partners — exactly the
+    (1−1/k) vs ½ separation the paper is about.
+
+    Returns ``(graph, planted_pairs)`` with the pairs as ``(u, v)``,
+    ``u < v``; they always form a perfect matching of the graph.
+    """
+    if n < 2 or n % 2 != 0:
+        raise ValueError(f"planted matching needs even n >= 2, got {n}")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be in [0,1], got {noise}")
+    rng = _rng(seed)
+    perm = rng.permutation(n).reshape(-1, 2)
+    pairs = sorted(
+        (int(min(a, b)), int(max(a, b))) for a, b in perm
+    )
+    edges = list(pairs)
+    if noise > 0.0:
+        mask = np.triu(rng.random((n, n)) < noise, k=1)
+        for u, v in pairs:
+            mask[u, v] = False
+        us, vs = np.nonzero(mask)
+        edges.extend(zip(us.tolist(), vs.tolist()))
+    return Graph(n, edges), pairs
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """Lollipop: K_clique with a path of ``tail`` vertices attached.
+
+    The classic high-Δ / low-conductance stress instance — a dense head
+    (Δ = clique−1 inside) dragging a long sparse tail, so round bounds
+    parameterized by Δ and by diameter pull in opposite directions.
+    Vertices 0..clique−1 form the clique; the tail hangs off vertex
+    ``clique−1``.
+    """
+    if clique < 3:
+        raise ValueError(f"clique needs >= 3 vertices, got {clique}")
+    if tail < 1:
+        raise ValueError(f"tail needs >= 1 vertex, got {tail}")
+    edges = [(u, v) for u in range(clique) for v in range(u + 1, clique)]
+    prev = clique - 1
+    for v in range(clique, clique + tail):
+        edges.append((prev, v))
+        prev = v
+    return Graph(clique + tail, edges)
 
 
 def switch_demand_graph(

@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import strategies as st
 
 from repro.graphs import Graph, gnp_random
+
+
+@pytest.fixture
+def parallel_workers() -> int:
+    """Worker count for ParallelRunner tests: capped at 2 under CI.
+
+    CI runners typically expose 1-2 cores; oversubscribing them makes
+    the determinism tests slow without testing anything extra.
+    """
+    return 2 if os.environ.get("CI") else 4
 
 
 @pytest.fixture

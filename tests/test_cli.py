@@ -53,6 +53,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PIM" in out and "iSLIP" in out
 
+    def test_scenarios_subset(self, capsys):
+        assert main([
+            "scenarios", "--size", "12", "--repeats", "1",
+            "--family", "comb", "--family", "barabasi_albert",
+            "--algo", "generic_mcm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "comb" in out and "barabasi_albert" in out
+        assert "NO" not in out
+
+    def test_scenarios_artifact(self, tmp_path, capsys):
+        path = tmp_path / "cells.jsonl"
+        assert main([
+            "scenarios", "--size", "12", "--repeats", "1",
+            "--family", "gnp", "--algo", "general_mcm", "--out", str(path),
+        ]) == 0
+        assert path.exists() and path.read_text().count("\n") == 1
+        assert str(path) in capsys.readouterr().out
+
+    def test_scenarios_unknown_family(self, capsys):
+        assert main(["scenarios", "--family", "bogus"]) == 1
+        assert "unknown family" in capsys.readouterr().err
+
+    def test_scenarios_unknown_algo(self, capsys):
+        assert main(["scenarios", "--algo", "bogus"]) == 1
+        assert "unknown algorithm" in capsys.readouterr().err
+
 
 class TestFileCommand:
     def test_general_on_file(self, tmp_path, capsys):

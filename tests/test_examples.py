@@ -45,8 +45,14 @@ class TestExamples:
         assert "Israeli-Itai" in out and "Luby" in out and "Aug" in out
         assert out.count("msgs") == 3
 
+    def test_scenario_sweep(self, capsys):
+        out = run_example("scenario_sweep.py", capsys)
+        assert "barabasi_albert" in out and "planted_matching" in out
+        assert "worst ratio" in out
+        assert "NO" not in out
+
     def test_examples_directory_complete(self):
-        """All six documented examples exist and are nonempty."""
+        """All documented examples exist and are nonempty."""
         expected = {
             "quickstart.py",
             "switch_scheduling.py",
@@ -54,6 +60,7 @@ class TestExamples:
             "figure1_walkthrough.py",
             "bipartite_vs_general.py",
             "protocol_trace.py",
+            "scenario_sweep.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present
