@@ -1,0 +1,137 @@
+"""Pre-refactor reference implementations for the S2 engine benchmark.
+
+These replicate the graph-construction and round-loop code paths as
+they existed *before* the CSR refactor (ISSUE 2), so the benchmark can
+measure the refactor's effect in one process:
+
+* :class:`LegacyGraph` — per-vertex Python adjacency lists of
+  ``(neighbor, eid)`` tuples plus a dict edge index, built edge by
+  edge (construction-throughput baseline only; it implements just the
+  construction work, not the full query API);
+* :class:`LegacyNetwork` — the old ``Network.run``: every round scans
+  all n generators, rebuilds an O(n) pending table, validates each
+  message against per-run neighbor sets, and updates the bit counters
+  message by message.  Grouped outbox entries produced by the new
+  ``Node.broadcast``/``send_many`` are expanded to per-message pairs,
+  which is exactly what the old engine processed.
+
+Both produce results identical to the refactored code (asserted by the
+benchmark); only the constant factors differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.distributed.message import Sized, bit_size
+from repro.distributed.models import CongestViolation
+from repro.distributed.network import Network
+
+
+class LegacyGraph:
+    """Old construction path: Python loops, tuple lists, dict index."""
+
+    __slots__ = ("n", "m", "_edges", "_adj", "_eid", "_weights")
+
+    def __init__(self, n, edges=(), weights=None):
+        if n < 0:
+            raise ValueError(f"vertex count must be nonnegative, got {n}")
+        self.n = n
+        self._edges: list[tuple[int, int]] = []
+        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        self._eid: dict[tuple[int, int], int] = {}
+        for u, v in edges:
+            self._add_edge(u, v)
+        self.m = len(self._edges)
+        if weights is not None:
+            weights = list(weights)
+            if len(weights) != self.m:
+                raise ValueError(f"{len(weights)} weights for {self.m} edges")
+            for eid, w in enumerate(weights):
+                if w <= 0:
+                    u, v = self._edges[eid]
+                    raise ValueError(
+                        f"edge ({u},{v}) has non-positive weight {w}"
+                    )
+            self._weights = weights
+        else:
+            self._weights = None
+
+    def _add_edge(self, u: int, v: int) -> None:
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u}")
+        key = (u, v) if u < v else (v, u)
+        if key in self._eid:
+            raise ValueError(f"duplicate edge ({u},{v})")
+        eid = len(self._edges)
+        self._eid[key] = eid
+        self._edges.append(key)
+        self._adj[u].append((v, eid))
+        self._adj[v].append((u, eid))
+
+
+class LegacyNetwork(Network):
+    """Old round loop on top of the current Node/Graph substrate."""
+
+    def run(self, max_rounds: int = 1_000_000):
+        res = self.result
+        live = sum(1 for g in self._gens if g is not None)
+        neighbor_sets = [
+            set(self.nodes[v].neighbors) for v in range(self.graph.n)
+        ]
+        while live:
+            if res.rounds >= max_rounds:
+                raise RuntimeError(
+                    f"{live} node(s) still running after {max_rounds} rounds; "
+                    "lockstep protocol bug or budget too small"
+                )
+            for v, gen in enumerate(self._gens):
+                if gen is None:
+                    continue
+                node = self.nodes[v]
+                # One write per live node, as the old engine did.
+                node._round_ref[0] = res.rounds
+                try:
+                    next(gen)
+                except StopIteration as stop:
+                    if stop.value is not None:
+                        node.output = stop.value
+                    self._gens[v] = None
+                    live -= 1
+            pending: list[list[tuple[int, Any]]] = [[] for _ in self.nodes]
+            for v, node in enumerate(self.nodes):
+                if not node._outbox:
+                    continue
+                for entry, payload in node._outbox:
+                    # Old senders queued one pair per recipient; expand
+                    # grouped entries to the same per-message stream.
+                    dsts = entry if type(entry) is tuple else (entry,)
+                    for dst in dsts:
+                        if dst not in neighbor_sets[v]:
+                            raise ValueError(
+                                f"node {v} sent to non-neighbor {dst} "
+                                f"(round {res.rounds})"
+                            )
+                        bits = bit_size(payload)
+                        if self._limit is not None and bits > self._limit:
+                            raise CongestViolation(
+                                f"node {v} -> {dst}: {bits}-bit message "
+                                f"exceeds {self.model.name} bound of "
+                                f"{self._limit} bits (round {res.rounds})"
+                            )
+                        res.total_messages += 1
+                        res.total_bits += bits
+                        if bits > res.max_message_bits:
+                            res.max_message_bits = bits
+                        p = payload.payload if isinstance(payload, Sized) else payload
+                        pending[dst].append((v, p))
+                node._outbox.clear()
+            for v, node in enumerate(self.nodes):
+                node.inbox = pending[v]
+            if live:
+                res.rounds += 1
+        for node in self.nodes:
+            res.outputs[node.id] = node.output
+        return res

@@ -63,18 +63,15 @@ def _hat_graph(
     between Ĝ members); vertices outside V̂ are isolated in it and idle
     through the Aug run.  X = red members, Y = blue members.
     """
-    in_hat = [False] * g.n
-    for v in range(g.n):
-        mv = mates[v]
-        if mv == -1 or red[v] != red[mv]:
-            in_hat[v] = True
-    keep = [
-        eid
-        for eid, (u, v) in enumerate(g.edges())
-        if in_hat[u] and in_hat[v] and red[u] != red[v]
-    ]
+    mates_arr = np.asarray(mates, dtype=np.int64)
+    red_arr = np.asarray(red, dtype=bool)
+    in_hat = (mates_arr == -1) | (red_arr != red_arr[mates_arr])
+    lo, hi = g.endpoints_array()
+    keep = np.nonzero(
+        in_hat[lo] & in_hat[hi] & (red_arr[lo] != red_arr[hi])
+    )[0]
     ghat = g.subgraph(keep)
-    xside = [bool(red[v]) for v in range(g.n)]
+    xside = red_arr.tolist()
     return ghat, xside
 
 

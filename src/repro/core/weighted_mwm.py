@@ -65,14 +65,26 @@ def wrap_gain(g: Graph, m: Matching, r: int, s: int) -> float:
 
 
 def derived_weights(g: Graph, m: Matching) -> list[float]:
-    """The full w_M vector, indexed by edge id (0 on matched edges)."""
-    out = []
-    for eid, (u, v) in enumerate(g.edges()):
-        if m.is_matched_edge(u, v):
-            out.append(0.0)
-        else:
-            out.append(wrap_gain(g, m, u, v))
-    return out
+    """The full w_M vector, indexed by edge id (0 on matched edges).
+
+    Vectorized over the CSR arrays: with ``vw[x]`` the weight of x's
+    matched edge (0 when free), ``w_M(u, v) = w(u, v) − vw[u] − vw[v]``
+    for unmatched edges — the same scalar arithmetic as
+    :func:`wrap_gain`, evaluated for all edges at once.
+    """
+    lo, hi = g.endpoints_array()
+    w = g.weights_array()
+    vertex_matched_w = np.zeros(g.n, dtype=np.float64)
+    matched_eids = []
+    for u, v in m.edges():
+        wuv = g.weight(u, v)
+        vertex_matched_w[u] = wuv
+        vertex_matched_w[v] = wuv
+        matched_eids.append(g.edge_id(u, v))
+    wm = w - vertex_matched_w[lo] - vertex_matched_w[hi]
+    if matched_eids:
+        wm[np.asarray(matched_eids, dtype=np.int64)] = 0.0
+    return wm.tolist()
 
 
 def apply_wraps(m: Matching, mprime_edges: list[tuple[int, int]]) -> Matching:

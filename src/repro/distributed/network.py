@@ -13,6 +13,20 @@ The loop ends when every node's generator has returned.  Determinism:
 node RNGs are spawned from a single ``SeedSequence``, and delivery
 order into an inbox follows sender id, so results depend only on the
 seed — never on Python iteration order.
+
+Engine design (the CSR refactor of ISSUE 2):
+
+* an **active list** tracks which generators are still live, so a round
+  costs O(live + messages), not O(n) — protocols whose nodes terminate
+  locally (Luby, Israeli–Itai, …) stop paying for finished nodes;
+* neighbor validation uses the graph's cached per-vertex frozen
+  neighbor sets (one O(m) build per *graph*, shared across networks,
+  instead of one per run);
+* grouped sends (:meth:`Node.broadcast` / :meth:`Node.send_many`) are
+  validated with one ``issuperset`` check and sized once per group;
+* messages are pre-bucketed into per-recipient lists during the sender
+  scan, and bit accounting is flushed once per round from NumPy
+  batches rather than updating counters per message.
 """
 
 from __future__ import annotations
@@ -63,8 +77,9 @@ class Network:
         self._limit = model.limit(graph.n, graph.max_degree())
         seq = np.random.SeedSequence(seed)
         children = seq.spawn(graph.n)
+        self._round_cell = [0]
         self.nodes = [
-            Node(v, graph, np.random.default_rng(children[v]))
+            Node(v, graph, np.random.default_rng(children[v]), self._round_cell)
             for v in range(graph.n)
         ]
         params = params or {}
@@ -72,6 +87,14 @@ class Network:
             program(self.nodes[v], **params) for v in range(graph.n)
         ]
         self.result = RunResult()
+        #: generator resumes performed so far — with active-list
+        #: bookkeeping this is Σ_v (rounds node v stayed live), not
+        #: rounds × n (regression-tested on staggered-finish graphs).
+        self.total_resumes = 0
+        # Recipients of the most recent delivery; their inboxes must be
+        # cleared before the next one (persists across run() re-entries
+        # so single-round stepping, e.g. run_traced, stays equivalent).
+        self._inboxed: list[int] = []
 
     def run(self, max_rounds: int = 1_000_000) -> RunResult:
         """Advance rounds until all programs return (or raise on budget).
@@ -83,63 +106,124 @@ class Network:
             lockstep protocol this signals a deadlock/phase mismatch.
         CongestViolation
             In CONGEST mode, when a message exceeds the bit budget.
+        ValueError
+            When a node addresses a message to a non-neighbor.
         """
         res = self.result
-        live = sum(1 for g in self._gens if g is not None)
-        neighbor_sets = [set(self.nodes[v].neighbors) for v in range(self.graph.n)]
-        while live:
+        nodes = self.nodes
+        gens = self._gens
+        limit = self._limit
+        nbr_sets = self.graph.neighbor_sets()
+        # Vertices with live generators, ascending (the sender scan
+        # below relies on this order: delivery into an inbox follows
+        # sender id because senders are visited in id order).
+        active = [v for v in range(self.graph.n) if gens[v] is not None]
+        while active:
             if res.rounds >= max_rounds:
                 raise RuntimeError(
-                    f"{live} node(s) still running after {max_rounds} rounds; "
-                    "lockstep protocol bug or budget too small"
+                    f"{len(active)} node(s) still running after {max_rounds} "
+                    "rounds; lockstep protocol bug or budget too small"
                 )
             # 1. Resume every live generator for this round.
-            for v, gen in enumerate(self._gens):
-                if gen is None:
-                    continue
-                node = self.nodes[v]
-                node.round = res.rounds
+            survivors: list[int] = []
+            self._round_cell[0] = res.rounds
+            for v in active:
                 try:
-                    next(gen)
+                    next(gens[v])
+                    survivors.append(v)
                 except StopIteration as stop:
                     if stop.value is not None:
-                        node.output = stop.value
-                    self._gens[v] = None
-                    live -= 1
-            # 2. Validate, account, and deliver all queued messages.
-            pending: list[list[tuple[int, Any]]] = [[] for _ in self.nodes]
-            for v, node in enumerate(self.nodes):
-                if not node._outbox:
+                        nodes[v].output = stop.value
+                    gens[v] = None
+            self.total_resumes += len(active)
+            # 2. Validate, account, bucket, and deliver queued messages.
+            # Only nodes resumed this round (including ones that just
+            # returned) can have queued anything.
+            pending: dict[int, list[tuple[int, Any]]] = {}
+            bits_batch: list[int] = []
+            count_batch: list[int] = []
+            for v in active:
+                outbox = nodes[v]._outbox
+                if not outbox:
                     continue
-                for dst, payload in node._outbox:
-                    if dst not in neighbor_sets[v]:
+                nbrs = nbr_sets[v]
+                for dst, payload in outbox:
+                    grouped = type(dst) is tuple
+                    if grouped:  # one validation + size check per group
+                        if not dst:
+                            continue
+                        if not nbrs.issuperset(dst):
+                            bad = next(d for d in dst if d not in nbrs)
+                            raise ValueError(
+                                f"node {v} sent to non-neighbor {bad} "
+                                f"(round {res.rounds})"
+                            )
+                    elif dst not in nbrs:
                         raise ValueError(
                             f"node {v} sent to non-neighbor {dst} "
                             f"(round {res.rounds})"
                         )
-                    bits = bit_size(payload)
-                    if self._limit is not None and bits > self._limit:
+                    # Inline fast paths for the dominant scalar payloads
+                    # (must agree with message.bit_size exactly).
+                    tp = type(payload)
+                    if tp is int:
+                        if payload >= 0:
+                            bits = 1 + (payload.bit_length() or 1)
+                        else:
+                            bits = 1 + max(1, (-payload).bit_length())
+                    elif tp is str:
+                        bits = 8 * (len(payload) or 1)
+                    elif tp is Sized:
+                        bits = payload.bits
+                        payload = payload.payload
+                    else:
+                        bits = bit_size(payload)
+                        if isinstance(payload, Sized):
+                            payload = payload.payload
+                    if limit is not None and bits > limit:
                         raise CongestViolation(
                             f"node {v} -> {dst}: {bits}-bit message exceeds "
-                            f"{self.model.name} bound of {self._limit} bits "
+                            f"{self.model.name} bound of {limit} bits "
                             f"(round {res.rounds}, payload {payload!r})"
                         )
-                    res.total_messages += 1
-                    res.total_bits += bits
-                    if bits > res.max_message_bits:
-                        res.max_message_bits = bits
-                    if isinstance(payload, Sized):
-                        payload = payload.payload
-                    pending[dst].append((v, payload))
-                node._outbox.clear()
-            for v, node in enumerate(self.nodes):
-                node.inbox = pending[v]
+                    bits_batch.append(bits)
+                    if grouped:
+                        count_batch.append(len(dst))
+                        msg = (v, payload)
+                        for d in dst:
+                            bucket = pending.get(d)
+                            if bucket is None:
+                                bucket = pending[d] = []
+                            bucket.append(msg)
+                    else:
+                        count_batch.append(1)
+                        bucket = pending.get(dst)
+                        if bucket is None:
+                            bucket = pending[dst] = []
+                        bucket.append((v, payload))
+                outbox.clear()
+            if bits_batch:
+                bits_arr = np.asarray(bits_batch, dtype=np.int64)
+                count_arr = np.asarray(count_batch, dtype=np.int64)
+                res.total_messages += int(count_arr.sum())
+                res.total_bits += int(bits_arr @ count_arr)
+                peak = int(bits_arr.max())
+                if peak > res.max_message_bits:
+                    res.max_message_bits = peak
+            # 3. Swap inboxes: fresh messages in, stale inboxes cleared.
+            for v in self._inboxed:
+                if v not in pending:
+                    nodes[v].inbox = []
+            for dst, msgs in pending.items():
+                nodes[dst].inbox = msgs
+            self._inboxed = list(pending)
             # A round is counted only when some node actually crossed a
             # round boundary (yielded); programs that return without
             # ever yielding use zero communication rounds.
-            if live:
+            if survivors:
                 res.rounds += 1
-        for node in self.nodes:
+            active = survivors
+        for node in nodes:
             res.outputs[node.id] = node.output
         return res
 

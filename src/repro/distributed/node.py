@@ -13,7 +13,7 @@ anything else, keeping algorithms honest to the model of Section 2.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -29,7 +29,9 @@ class Node:
         The node's identifier (= vertex id).  The paper assumes unique
         IDs (leader election in Algorithm 2 breaks ties by ID).
     neighbors:
-        Neighbor ids in port order.
+        Neighbor ids in port order, as an immutable tuple (a view of
+        the graph's cached adjacency — never mutate node state through
+        it).
     rng:
         Node-private deterministic RNG (spawned from the network seed),
         so runs are reproducible regardless of scheduling order.
@@ -47,18 +49,34 @@ class Node:
         "output",
         "_outbox",
         "_graph",
-        "round",
+        "_round_ref",
     )
 
-    def __init__(self, vid: int, graph: Graph, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        vid: int,
+        graph: Graph,
+        rng: np.random.Generator,
+        round_ref: list[int] | None = None,
+    ) -> None:
         self.id = vid
-        self.neighbors: list[int] = graph.neighbors(vid)
+        self.neighbors: tuple[int, ...] = graph.neighbors(vid)
         self.rng = rng
         self.inbox: list[tuple[int, Any]] = []
         self.output: Any = None
-        self._outbox: list[tuple[int, Any]] = []
+        # Outbox entries are either a single ``(dst, payload)`` or a
+        # grouped ``(dst_tuple, payload)`` from send_many/broadcast;
+        # the round engine sizes and validates grouped payloads once.
+        self._outbox: list[tuple[Any, Any]] = []
         self._graph = graph
-        self.round = 0
+        # The current round, shared with the network (one write per
+        # round instead of one per live node).
+        self._round_ref = round_ref if round_ref is not None else [0]
+
+    @property
+    def round(self) -> int:
+        """The network's current round number."""
+        return self._round_ref[0]
 
     @property
     def degree(self) -> int:
@@ -69,10 +87,18 @@ class Node:
         """Queue a message to neighbor ``dst`` for delivery next round."""
         self._outbox.append((dst, payload))
 
+    def send_many(self, dsts: Iterable[int], payload: Any) -> None:
+        """Queue the same message to every neighbor in ``dsts``.
+
+        Equivalent to ``send(d, payload) for d in dsts`` but the round
+        engine validates and sizes the payload once for the whole
+        group, which is what keeps broadcast-heavy protocols cheap.
+        """
+        self._outbox.append((tuple(dsts), payload))
+
     def broadcast(self, payload: Any) -> None:
         """Queue the same message to every neighbor."""
-        for u in self.neighbors:
-            self._outbox.append((u, payload))
+        self._outbox.append((self.neighbors, payload))
 
     def finish(self, output: Any) -> None:
         """Record the node's output (typically followed by ``return``)."""

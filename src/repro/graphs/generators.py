@@ -111,37 +111,42 @@ def bipartite_random(
     rng = _rng(seed)
     mask = rng.random((nx, ny)) < p
     xs, ys = np.nonzero(mask)
-    edges = [(int(x), nx + int(y)) for x, y in zip(xs, ys)]
-    g = Graph(nx + ny, edges)
+    g = Graph(nx + ny, np.column_stack([xs, ys + nx]))
     return g, list(range(nx)), list(range(nx, nx + ny))
 
 
 def complete_graph(n: int) -> Graph:
-    """K_n."""
-    return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+    """K_n (edge array built with one ``triu_indices`` call)."""
+    us, vs = np.triu_indices(n, k=1)
+    return Graph(n, np.column_stack([us, vs]))
 
 
 def complete_bipartite(nx: int, ny: int) -> tuple[Graph, list[int], list[int]]:
     """K_{nx,ny}; returns ``(graph, X, Y)``."""
-    edges = [(x, nx + y) for x in range(nx) for y in range(ny)]
-    return Graph(nx + ny, edges), list(range(nx)), list(range(nx, nx + ny))
+    xs = np.repeat(np.arange(nx), ny)
+    ys = nx + np.tile(np.arange(ny), nx)
+    g = Graph(nx + ny, np.column_stack([xs, ys]))
+    return g, list(range(nx)), list(range(nx, nx + ny))
 
 
 def path_graph(n: int) -> Graph:
     """Path on n vertices (n-1 edges)."""
-    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+    base = np.arange(max(n - 1, 0))
+    return Graph(n, np.column_stack([base, base + 1]))
 
 
 def cycle_graph(n: int) -> Graph:
     """Cycle on n >= 3 vertices."""
     if n < 3:
         raise ValueError("cycle needs at least 3 vertices")
-    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+    base = np.arange(n)
+    return Graph(n, np.column_stack([base, (base + 1) % n]))
 
 
 def star_graph(n: int) -> Graph:
     """Star with center 0 and n-1 leaves."""
-    return Graph(n, [(0, i) for i in range(1, n)])
+    leaves = np.arange(1, max(n, 1))
+    return Graph(n, np.column_stack([np.zeros_like(leaves), leaves]))
 
 
 def grid_graph(rows: int, cols: int) -> Graph:
@@ -168,8 +173,11 @@ def crown_graph(k: int) -> tuple[Graph, list[int], list[int]]:
     """
     if k < 3:
         raise ValueError("crown graph needs k >= 3")
-    edges = [(x, k + y) for x in range(k) for y in range(k) if x != y]
-    return Graph(2 * k, edges), list(range(k)), list(range(k, 2 * k))
+    xs = np.repeat(np.arange(k), k)
+    ys = np.tile(np.arange(k), k)
+    off = xs != ys  # K_{k,k} minus the identity matching
+    g = Graph(2 * k, np.column_stack([xs[off], ys[off] + k]))
+    return g, list(range(k)), list(range(k, 2 * k))
 
 
 def random_tree(n: int, seed: int | np.random.Generator | None = 0) -> Graph:
@@ -417,7 +425,7 @@ def powerlaw_configuration(
     hi = np.maximum(pairs[:, 0], pairs[:, 1])
     keep = lo != hi  # erase self-loops
     unique = np.unique(np.stack([lo[keep], hi[keep]], axis=1), axis=0)
-    return Graph(n, [(int(a), int(b)) for a, b in unique])
+    return Graph(n, unique)
 
 
 def kronecker(
@@ -453,7 +461,7 @@ def kronecker(
     rng = _rng(seed)
     mask = np.triu(rng.random((n, n)) < prob, k=1)
     us, vs = np.nonzero(mask)
-    return Graph(n, list(zip(us.tolist(), vs.tolist())))
+    return Graph(n, np.column_stack([us, vs]))
 
 
 def planted_matching(
@@ -482,14 +490,13 @@ def planted_matching(
     pairs = sorted(
         (int(min(a, b)), int(max(a, b))) for a, b in perm
     )
-    edges = list(pairs)
+    earr = np.asarray(pairs, dtype=np.int64)
     if noise > 0.0:
         mask = np.triu(rng.random((n, n)) < noise, k=1)
-        for u, v in pairs:
-            mask[u, v] = False
+        mask[earr[:, 0], earr[:, 1]] = False
         us, vs = np.nonzero(mask)
-        edges.extend(zip(us.tolist(), vs.tolist()))
-    return Graph(n, edges), pairs
+        earr = np.concatenate([earr, np.column_stack([us, vs])])
+    return Graph(n, earr), pairs
 
 
 def lollipop_graph(clique: int, tail: int) -> Graph:

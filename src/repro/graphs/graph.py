@@ -7,15 +7,63 @@ algorithms can index per-edge state with plain lists (this matters for
 Algorithm 3, whose per-node counters ``c_v[i]`` are indexed by incident
 edge).
 
+Storage is an immutable CSR (compressed sparse row) core built once at
+construction with vectorized NumPy passes:
+
+* ``indptr`` — ``int64[n+1]``; vertex ``v``'s incident half-edges live
+  at positions ``indptr[v]:indptr[v+1]``;
+* ``indices`` — ``int64[2m]``; the neighbor at each half-edge slot;
+* ``eids`` — ``int64[2m]``; the edge id at each half-edge slot;
+* ``weights`` — ``float64[m]`` or ``None`` (unweighted).
+
+**Port-numbering invariant.**  Within vertex ``v``'s CSR slice, half-
+edges appear in *edge-insertion order* — the position of a half-edge in
+the slice is the "port number" of that edge at ``v``, exactly as in the
+distributed model of Section 2 (Algorithm 3 indexes its counter array
+by port).  The vectorized build preserves this with a stable argsort of
+the interleaved endpoint array.
+
 Topology is immutable after construction; weights may be replaced
 wholesale via :meth:`Graph.with_weights` (used by Algorithm 5, which
 re-weights the same topology each iteration with the derived weight
 function ``w_M``).
+
+Scalar accessors (``neighbors``, ``incident``, ``edge_id``, …) are
+backed by lazily built caches so repeated queries stay cheap; bulk
+accessors (``degrees``, ``endpoints_array``, ``weights_array``,
+``incident_view``, ``sorted_neighbors``) expose the arrays directly for
+vectorized algorithm code.  All returned array views are read-only.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+_EMPTY_EDGES = np.empty((0, 2), dtype=np.int64)
+
+
+def _as_edge_array(edges: object) -> np.ndarray:
+    """Normalize an edge iterable / array to an ``(m, 2) int64`` array."""
+    if isinstance(edges, np.ndarray):
+        arr = edges
+        if arr.size == 0:
+            return _EMPTY_EDGES
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"edge array must have shape (m, 2), got {arr.shape}")
+    else:
+        edges = list(edges)
+        if not edges:
+            return _EMPTY_EDGES
+        arr = np.asarray(edges)
+        if arr.ndim != 2 or arr.shape[-1] != 2:
+            raise ValueError("edges must be (u, v) pairs")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(
+            f"edge endpoints must be integers, got dtype {arr.dtype}"
+        )
+    return arr.astype(np.int64, copy=False)
 
 
 class Graph:
@@ -26,69 +74,118 @@ class Graph:
     n:
         Number of vertices; vertices are ``0 .. n-1``.
     edges:
-        Iterable of ``(u, v)`` pairs.  Self-loops and duplicate edges
-        are rejected.
+        Iterable of ``(u, v)`` pairs, or an ``(m, 2)`` integer array.
+        Self-loops and duplicate edges are rejected.
     weights:
-        Optional sequence of positive edge weights, aligned with
-        ``edges``.  ``None`` means the graph is unweighted (all queries
-        through :meth:`weight` return 1.0).
-
-    Notes
-    -----
-    Adjacency is stored as, per vertex, a list of ``(neighbor,
-    edge_id)`` pairs in insertion order.  The *position* of an entry in
-    that list is the "port number" of the edge at that vertex — the
-    distributed model in Section 2 lets a node distinguish its incident
-    edges, and Algorithm 3 indexes its counter array by port.
+        Optional sequence (or array) of positive edge weights, aligned
+        with ``edges``.  ``None`` means the graph is unweighted (all
+        queries through :meth:`weight` return 1.0).
     """
 
-    __slots__ = ("n", "m", "_edges", "_adj", "_eid", "_weights")
+    __slots__ = (
+        "n",
+        "m",
+        "_indptr",
+        "_indices",
+        "_eids",
+        "_weights",
+        "_lo",
+        "_hi",
+        "_edges_list",
+        "_eid_map",
+        "_nbr_tuples",
+        "_inc_tuples",
+        "_nbr_sets",
+        "_sorted_indices",
+        "_sorted_eids",
+        "_max_degree",
+        "_unit_weights",
+    )
 
     def __init__(
         self,
         n: int,
-        edges: Iterable[tuple[int, int]] = (),
-        weights: Sequence[float] | None = None,
+        edges: Iterable[tuple[int, int]] | np.ndarray = (),
+        weights: Sequence[float] | np.ndarray | None = None,
     ) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be nonnegative, got {n}")
         self.n = n
-        self._edges: list[tuple[int, int]] = []
-        self._adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-        self._eid: dict[tuple[int, int], int] = {}
-        for u, v in edges:
-            self._add_edge(u, v)
-        self.m = len(self._edges)
+        earr = _as_edge_array(edges)
+        m = self.m = len(earr)
+        u = earr[:, 0]
+        v = earr[:, 1]
+        if m:
+            self._validate_topology(earr, u, v)
+        self._lo = np.minimum(u, v)
+        self._hi = np.maximum(u, v)
+        # CSR build: interleave the two directed half-edges of each edge
+        # as [u0, v0, u1, v1, ...]; a *stable* sort by source vertex then
+        # groups each vertex's half-edges in edge-insertion order — the
+        # port-numbering invariant (see module docstring).
+        src = earr.reshape(-1)
+        dst = earr[:, ::-1].reshape(-1)
+        order = np.argsort(src, kind="stable")
+        self._indices = dst[order]
+        self._eids = np.repeat(np.arange(m, dtype=np.int64), 2)[order]
+        counts = np.bincount(src, minlength=n) if m else np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._indptr = indptr
+        for arr in (self._indices, self._eids, self._indptr, self._lo, self._hi):
+            arr.setflags(write=False)
         if weights is not None:
-            weights = list(weights)
-            if len(weights) != self.m:
+            warr = np.asarray(weights, dtype=np.float64)
+            if warr.ndim != 1:
                 raise ValueError(
-                    f"{len(weights)} weights for {self.m} edges"
+                    f"weights must be 1-D, got shape {warr.shape}"
                 )
-            for eid, w in enumerate(weights):
-                if w <= 0:
-                    u, v = self._edges[eid]
-                    raise ValueError(
-                        f"edge ({u},{v}) has non-positive weight {w}; "
-                        "the paper assumes w : E -> R+"
-                    )
-            self._weights: list[float] | None = weights
+            if len(warr) != m:
+                raise ValueError(f"{warr.size} weights for {m} edges")
+            nonpos = warr <= 0.0
+            if nonpos.any():
+                eid = int(np.argmax(nonpos))
+                raise ValueError(
+                    f"edge ({self._lo[eid]},{self._hi[eid]}) has non-positive "
+                    f"weight {warr[eid]}; the paper assumes w : E -> R+"
+                )
+            warr = warr.copy()
+            warr.setflags(write=False)
+            self._weights: np.ndarray | None = warr
         else:
             self._weights = None
+        # Lazy caches (scalar-access tuples, eid map, sorted neighbors).
+        self._edges_list: list[tuple[int, int]] | None = None
+        self._eid_map: dict[int, int] | None = None
+        self._nbr_tuples: list[tuple[int, ...]] | None = None
+        self._inc_tuples: list[tuple[tuple[int, int], ...] | None] | None = None
+        self._nbr_sets: list[frozenset[int]] | None = None
+        self._sorted_indices: np.ndarray | None = None
+        self._sorted_eids: np.ndarray | None = None
+        self._max_degree: int | None = None
+        self._unit_weights: np.ndarray | None = None
 
-    def _add_edge(self, u: int, v: int) -> None:
-        if not (0 <= u < self.n and 0 <= v < self.n):
-            raise ValueError(f"edge ({u},{v}) out of range for n={self.n}")
-        if u == v:
-            raise ValueError(f"self-loop at vertex {u}")
-        key = (u, v) if u < v else (v, u)
-        if key in self._eid:
-            raise ValueError(f"duplicate edge ({u},{v})")
-        eid = len(self._edges)
-        self._eid[key] = eid
-        self._edges.append(key)
-        self._adj[u].append((v, eid))
-        self._adj[v].append((u, eid))
+    def _validate_topology(self, earr: np.ndarray, u: np.ndarray, v: np.ndarray) -> None:
+        """Vectorized checks; error paths scan for faithful messages."""
+        n = self.n
+        oob = (u < 0) | (u >= n) | (v < 0) | (v >= n)
+        if oob.any():
+            i = int(np.argmax(oob))
+            raise ValueError(
+                f"edge ({earr[i, 0]},{earr[i, 1]}) out of range for n={n}"
+            )
+        loops = u == v
+        if loops.any():
+            raise ValueError(f"self-loop at vertex {u[int(np.argmax(loops))]}")
+        key = np.minimum(u, v) * np.int64(n) + np.maximum(u, v)
+        order = np.argsort(key, kind="stable")
+        dup = key[order][1:] == key[order][:-1]
+        if dup.any():
+            # Stable sort keeps equal keys in insertion order, so the
+            # first duplicate *encountered* is the smallest original
+            # index among second-and-later occurrences.
+            i = int(order[1:][dup].min())
+            raise ValueError(f"duplicate edge ({earr[i, 0]},{earr[i, 1]})")
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -105,54 +202,179 @@ class Graph:
 
     def edges(self) -> list[tuple[int, int]]:
         """All edges as ``(u, v)`` with ``u < v``, indexed by edge id."""
-        return list(self._edges)
+        return list(self._edge_tuples())
+
+    def _edge_tuples(self) -> list[tuple[int, int]]:
+        if self._edges_list is None:
+            self._edges_list = list(zip(self._lo.tolist(), self._hi.tolist()))
+        return self._edges_list
 
     def edge_endpoints(self, eid: int) -> tuple[int, int]:
         """Endpoints ``(u, v)`` with ``u < v`` of edge ``eid``."""
-        return self._edges[eid]
+        return self._edge_tuples()[eid]
+
+    def _eid_lookup(self) -> dict[int, int]:
+        if self._eid_map is None:
+            keys = (self._lo * np.int64(self.n) + self._hi).tolist()
+            self._eid_map = dict(zip(keys, range(self.m)))
+        return self._eid_map
 
     def edge_id(self, u: int, v: int) -> int:
         """Edge id of ``(u, v)``; raises ``KeyError`` if absent."""
-        return self._eid[(u, v) if u < v else (v, u)]
+        if u > v:
+            u, v = v, u
+        # Bounds guard: the flat key u*n+v is only collision-free for
+        # in-range vertices.
+        if u < 0 or v >= self.n:
+            raise KeyError((u, v))
+        try:
+            return self._eid_lookup()[u * self.n + v]
+        except KeyError:
+            raise KeyError((u, v)) from None
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``(u, v)`` is an edge."""
-        return ((u, v) if u < v else (v, u)) in self._eid
+        if u > v:
+            u, v = v, u
+        if u < 0 or v >= self.n:
+            return False
+        return (u * self.n + v) in self._eid_lookup()
 
-    def neighbors(self, v: int) -> list[int]:
-        """Neighbors of ``v`` in port order."""
-        return [u for u, _ in self._adj[v]]
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Neighbors of ``v`` in port order (immutable; do not mutate)."""
+        if self._nbr_tuples is None:
+            flat = self._indices.tolist()
+            ptr = self._indptr.tolist()
+            self._nbr_tuples = [
+                tuple(flat[ptr[i]: ptr[i + 1]]) for i in range(self.n)
+            ]
+        return self._nbr_tuples[v]
 
-    def incident(self, v: int) -> list[tuple[int, int]]:
-        """``(neighbor, edge_id)`` pairs of ``v`` in port order."""
-        return list(self._adj[v])
+    def incident(self, v: int) -> tuple[tuple[int, int], ...]:
+        """``(neighbor, edge_id)`` pairs of ``v`` in port order (immutable)."""
+        if self._inc_tuples is None:
+            self._inc_tuples = [None] * self.n
+        cached = self._inc_tuples[v]
+        if cached is None:
+            a, b = self._indptr[v], self._indptr[v + 1]
+            cached = self._inc_tuples[v] = tuple(
+                zip(self._indices[a:b].tolist(), self._eids[a:b].tolist())
+            )
+        return cached
 
     def degree(self, v: int) -> int:
         """Degree of ``v``."""
-        return len(self._adj[v])
+        return int(self._indptr[v + 1] - self._indptr[v])
 
     def max_degree(self) -> int:
         """Maximum degree Δ (0 on the empty graph)."""
-        return max((len(a) for a in self._adj), default=0)
+        if self._max_degree is None:
+            self._max_degree = (
+                int(np.diff(self._indptr).max()) if self.n else 0
+            )
+        return self._max_degree
 
     def weight(self, u: int, v: int) -> float:
         """Weight of edge ``(u, v)`` (1.0 in unweighted graphs)."""
         eid = self.edge_id(u, v)
-        return 1.0 if self._weights is None else self._weights[eid]
+        return 1.0 if self._weights is None else float(self._weights[eid])
 
     def edge_weight(self, eid: int) -> float:
         """Weight of edge ``eid`` (1.0 in unweighted graphs)."""
-        return 1.0 if self._weights is None else self._weights[eid]
+        return 1.0 if self._weights is None else float(self._weights[eid])
 
     def total_weight(self) -> float:
         """Sum of all edge weights."""
         if self._weights is None:
             return float(self.m)
-        return float(sum(self._weights))
+        # Summed in edge-id order with scalar adds, matching the result
+        # of summing the per-edge floats one by one.
+        return float(sum(self._weights.tolist()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         tag = "weighted " if self.weighted else ""
         return f"Graph({tag}n={self.n}, m={self.m})"
+
+    # ------------------------------------------------------------------
+    # Bulk (array) accessors — the CSR core for vectorized algorithms
+    # ------------------------------------------------------------------
+
+    def degrees(self) -> np.ndarray:
+        """All vertex degrees as an ``int64[n]`` array."""
+        return np.diff(self._indptr)
+
+    def endpoints_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """Edge endpoints ``(lo, hi)`` as ``int64[m]`` read-only arrays.
+
+        ``lo[eid] < hi[eid]`` for every edge, matching :meth:`edges`.
+        """
+        return self._lo, self._hi
+
+    def weights_array(self) -> np.ndarray:
+        """Edge weights as ``float64[m]`` (ones when unweighted), read-only."""
+        if self._weights is None:
+            if self._unit_weights is None:
+                ones = np.ones(self.m, dtype=np.float64)
+                ones.setflags(write=False)
+                self._unit_weights = ones
+            return self._unit_weights
+        return self._weights
+
+    def incident_view(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, edge_ids)`` of ``v`` as read-only array views.
+
+        Both arrays are in port order; no copies are made.
+        """
+        a, b = self._indptr[v], self._indptr[v + 1]
+        return self._indices[a:b], self._eids[a:b]
+
+    def indptr_array(self) -> np.ndarray:
+        """The CSR ``indptr`` array (read-only view)."""
+        return self._indptr
+
+    def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The raw CSR triple ``(indptr, indices, eids)`` (read-only)."""
+        return self._indptr, self._indices, self._eids
+
+    def _sorted_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._sorted_indices is None:
+            rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self._indptr))
+            order = np.lexsort((self._indices, rows))
+            self._sorted_indices = self._indices[order]
+            self._sorted_eids = self._eids[order]
+            self._sorted_indices.setflags(write=False)
+            self._sorted_eids.setflags(write=False)
+        return self._sorted_indices, self._sorted_eids
+
+    def sorted_neighbors(self, v: int) -> np.ndarray:
+        """Neighbors of ``v`` sorted ascending (read-only view).
+
+        Enables O(log Δ) membership via ``np.searchsorted`` — and, with
+        the matching :meth:`sorted_incident_eids` view, sorted-merge
+        algorithms over adjacency.
+        """
+        snbrs, _ = self._sorted_csr()
+        return snbrs[self._indptr[v]: self._indptr[v + 1]]
+
+    def sorted_incident_eids(self, v: int) -> np.ndarray:
+        """Edge ids aligned with :meth:`sorted_neighbors` (read-only view)."""
+        self._sorted_csr()
+        return self._sorted_eids[self._indptr[v]: self._indptr[v + 1]]
+
+    def neighbor_sets(self) -> list[frozenset[int]]:
+        """Per-vertex frozen neighbor sets, built once and cached.
+
+        The round engine uses these for O(1) neighbor-membership checks
+        on message validation; they are shared across all ``Network``
+        instances over the same graph.
+        """
+        if self._nbr_sets is None:
+            flat = self._indices.tolist()
+            ptr = self._indptr.tolist()
+            self._nbr_sets = [
+                frozenset(flat[ptr[i]: ptr[i + 1]]) for i in range(self.n)
+            ]
+        return self._nbr_sets
 
     # ------------------------------------------------------------------
     # Structure
@@ -165,6 +387,9 @@ class Graph:
         ``None`` when the graph contains an odd cycle.  Isolated
         vertices are placed on the X side.
         """
+        if self.n and self._nbr_tuples is None:
+            self.neighbors(0)  # build the adjacency tuple cache once
+        adj = self._nbr_tuples or []
         color = [-1] * self.n
         for s in range(self.n):
             if color[s] != -1:
@@ -173,11 +398,12 @@ class Graph:
             stack = [s]
             while stack:
                 v = stack.pop()
-                for u, _ in self._adj[v]:
+                cu = 1 - color[v]
+                for u in adj[v]:
                     if color[u] == -1:
-                        color[u] = 1 - color[v]
+                        color[u] = cu
                         stack.append(u)
-                    elif color[u] == color[v]:
+                    elif color[u] != cu:
                         return None
         xs = [v for v in range(self.n) if color[v] == 0]
         ys = [v for v in range(self.n) if color[v] == 1]
@@ -189,6 +415,9 @@ class Graph:
 
     def connected_components(self) -> list[list[int]]:
         """Connected components, each a sorted vertex list."""
+        if self.n and self._nbr_tuples is None:
+            self.neighbors(0)
+        adj = self._nbr_tuples or []
         seen = [False] * self.n
         comps: list[list[int]] = []
         for s in range(self.n):
@@ -199,7 +428,7 @@ class Graph:
             stack = [s]
             while stack:
                 v = stack.pop()
-                for u, _ in self._adj[v]:
+                for u in adj[v]:
                     if not seen[u]:
                         seen[u] = True
                         comp.append(u)
@@ -214,20 +443,28 @@ class Graph:
         Edge ids are *renumbered* in the subgraph; weights follow their
         edges.
         """
-        eids = sorted(set(keep_edges))
-        edges = [self._edges[e] for e in eids]
+        if isinstance(keep_edges, np.ndarray):
+            eids = np.unique(keep_edges.astype(np.int64, copy=False))
+        else:
+            eids = np.unique(np.asarray(list(keep_edges), dtype=np.int64))
+        if eids.size and (eids[0] < 0 or eids[-1] >= self.m):
+            raise IndexError(f"edge id out of range for m={self.m}")
+        edges = np.stack([self._lo[eids], self._hi[eids]], axis=1) if eids.size else _EMPTY_EDGES
         weights = None
         if self._weights is not None:
-            weights = [self._weights[e] for e in eids]
+            weights = self._weights[eids]
         return Graph(self.n, edges, weights)
 
-    def with_weights(self, weights: Sequence[float]) -> "Graph":
+    def with_weights(self, weights: Sequence[float] | np.ndarray) -> "Graph":
         """Same topology, new weights (used for the derived w_M graph)."""
-        return Graph(self.n, list(self._edges), weights)
+        return Graph(self.n, self._endpoint_matrix(), weights)
 
     def unweighted(self) -> "Graph":
         """Same topology without weights."""
-        return Graph(self.n, list(self._edges))
+        return Graph(self.n, self._endpoint_matrix())
+
+    def _endpoint_matrix(self) -> np.ndarray:
+        return np.stack([self._lo, self._hi], axis=1)
 
     # ------------------------------------------------------------------
     # Iteration helpers
@@ -239,6 +476,6 @@ class Graph:
 
     def iter_weighted_edges(self) -> Iterator[tuple[int, int, float]]:
         """Yield ``(u, v, w)`` for every edge."""
-        for eid, (u, v) in enumerate(self._edges):
-            w = 1.0 if self._weights is None else self._weights[eid]
+        ws = self.weights_array().tolist()
+        for (u, v), w in zip(self._edge_tuples(), ws):
             yield u, v, w

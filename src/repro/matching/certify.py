@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.matching.matching import Matching
 from repro.matching.augmenting import shortest_augmenting_path_length
@@ -71,9 +73,12 @@ def konig_vertex_cover(g: Graph, m: Matching, xs: list[int] | None = None) -> li
 
 
 def is_vertex_cover(g: Graph, cover: list[int]) -> bool:
-    """Whether every edge has an endpoint in ``cover``."""
-    cset = set(cover)
-    return all(u in cset or v in cset for u, v in g.edges())
+    """Whether every edge has an endpoint in ``cover`` (vectorized)."""
+    in_cover = np.zeros(g.n, dtype=bool)
+    if cover:
+        in_cover[np.asarray(list(cover), dtype=np.int64)] = True
+    lo, hi = g.endpoints_array()
+    return bool((in_cover[lo] | in_cover[hi]).all())
 
 
 def verify_cover_certificate(g: Graph, m: Matching, cover: list[int]) -> bool:

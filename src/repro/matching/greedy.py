@@ -37,12 +37,16 @@ def greedy_maximal_matching(
 def greedy_mwm(g: Graph) -> Matching:
     """Heaviest-edge-first greedy: a ½-MWM (Preis/Drake–Hougardy folklore).
 
-    Ties are broken by edge id so the result is deterministic.
+    Ties are broken by edge id so the result is deterministic.  The
+    weight sort runs on the graph's bulk weight array (stable lexsort:
+    descending weight, then ascending edge id).
     """
-    order = sorted(g.edge_ids(), key=lambda e: (-g.edge_weight(e), e))
+    order = np.lexsort((np.arange(g.m), -g.weights_array()))
+    lo, hi = g.endpoints_array()
+    us = lo[order].tolist()
+    vs = hi[order].tolist()
     m = Matching(g)
-    for eid in order:
-        u, v = g.edge_endpoints(eid)
+    for u, v in zip(us, vs):
         if m.is_free(u) and m.is_free(v):
             m.add(u, v)
     return m

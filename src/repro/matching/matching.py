@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 
 
@@ -134,8 +136,7 @@ class Matching:
         return Matching(self.graph, sorted(cur))
 
     def is_maximal(self) -> bool:
-        """Whether no edge of G has both endpoints free."""
-        for u, v in self.graph.edges():
-            if self._mate[u] == -1 and self._mate[v] == -1:
-                return False
-        return True
+        """Whether no edge of G has both endpoints free (vectorized)."""
+        free = np.asarray(self._mate, dtype=np.int64) == -1
+        lo, hi = self.graph.endpoints_array()
+        return not bool((free[lo] & free[hi]).any())

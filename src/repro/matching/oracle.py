@@ -15,6 +15,10 @@ from repro.matching.hopcroft_karp import hopcroft_karp
 
 def maximum_matching_size(g: Graph) -> int:
     """|M*|: maximum cardinality matching size (exact)."""
+    if g.m == 0:
+        return 0
+    if g.m == 1:
+        return 1
     if g.is_bipartite():
         return len(hopcroft_karp(g))
     return len(maximum_matching_blossom(g))

@@ -38,7 +38,12 @@ class Scheduler(Protocol):
 
 def _demand_graph(demand: list[set[int]], ports: int) -> tuple[Graph, list[int]]:
     """Bipartite demand graph: inputs 0..N-1, outputs N..2N-1."""
-    edges = [(i, ports + j) for i, outs in enumerate(demand) for j in sorted(outs)]
+    cols = [sorted(outs) for outs in demand]
+    rows = np.repeat(np.arange(len(cols)), [len(c) for c in cols])
+    flat = np.fromiter(
+        (j for c in cols for j in c), dtype=np.int64, count=len(rows)
+    )
+    edges = np.column_stack([rows, flat + ports])
     return Graph(2 * ports, edges), list(range(ports))
 
 
@@ -136,7 +141,7 @@ def _weighted_demand_graph(
             if row[j] > 0:
                 edges.append((i, ports + j))
                 ws.append(float(row[j]))
-    return Graph(2 * ports, edges, ws)
+    return Graph(2 * ports, np.asarray(edges, dtype=np.int64).reshape(-1, 2), ws)
 
 
 class WeightedScheduler(Protocol):

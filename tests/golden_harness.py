@@ -1,0 +1,194 @@
+"""Golden-output harness for seed-identity testing.
+
+The CSR refactor (ISSUE 2) must change *performance*, never *outputs*.
+This module computes, for a fixed matrix of (algorithm, small graph,
+seed) cells, a JSON-serializable snapshot of everything an experiment
+would record: matching edges, MIS membership, colors, and the full
+``RunResult`` accounting (rounds, messages, bits).
+
+Usage
+-----
+Capture (run once, at the pre-refactor commit)::
+
+    PYTHONPATH=src python -m tests.golden_harness
+
+writes ``tests/goldens/seed_identity.json``.  The regression test
+``tests/test_golden_seed_identity.py`` recomputes the same snapshot and
+asserts byte-identical JSON against the captured file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.cole_vishkin import ring_coloring, ring_maximal_matching
+from repro.baselines.hoepman import hoepman_mwm
+from repro.baselines.israeli_itai import israeli_itai_matching
+from repro.baselines.lps_interleaved import lps_interleaved_mwm
+from repro.baselines.lps_mwm import lps_mwm
+from repro.baselines.luby_mis import luby_mis
+from repro.baselines.pim import pim_matching
+from repro.core.general_mcm import general_mcm
+from repro.core.generic_mcm import generic_mcm
+from repro.core.kopt_mwm import kopt_mwm
+from repro.core.bipartite_mcm import bipartite_mcm
+from repro.core.weighted_mwm import weighted_mwm, weighted_mwm_reference
+from repro.graphs.generators import (
+    barabasi_albert,
+    comb_graph,
+    crown_graph,
+    cycle_graph,
+    gnp_random,
+)
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching.greedy import greedy_maximal_matching, greedy_mwm
+from repro.matching.hopcroft_karp import hopcroft_karp
+from repro.matching.oracle import maximum_matching_size
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "goldens" / "seed_identity.json"
+
+
+def _san(value: Any) -> Any:
+    """Make a node output JSON-serializable without losing information."""
+    if isinstance(value, (frozenset, set)):
+        return {"__set__": sorted(_san(v) for v in value)}
+    if isinstance(value, (tuple, list)):
+        return [_san(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _san(v) for k, v in sorted(value.items())}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _res_dict(res: Any) -> dict[str, Any]:
+    """RunResult -> plain dict (outputs keyed by str for JSON)."""
+    return {
+        "rounds": res.rounds,
+        "charged_rounds": res.charged_rounds,
+        "total_messages": res.total_messages,
+        "total_bits": res.total_bits,
+        "max_message_bits": res.max_message_bits,
+        "outputs": {str(k): _san(res.outputs[k]) for k in sorted(res.outputs)},
+    }
+
+
+def _edges(m: Any) -> list[list[int]]:
+    return [[int(u), int(v)] for u, v in m.edges()]
+
+
+def compute_goldens() -> dict[str, Any]:
+    """The full golden snapshot (deterministic; pure function of seeds)."""
+    g_sparse = gnp_random(24, 0.2, seed=1)
+    g_ba = barabasi_albert(30, 2, seed=2)
+    g_crown, xs, ys = crown_graph(5)
+    g_comb = comb_graph(8)
+    g_ring = cycle_graph(9)
+    g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+
+    out: dict[str, Any] = {}
+
+    mis, res = luby_mis(g_ba, seed=5)
+    out["luby_mis/ba30"] = {"mis": sorted(mis), "res": _res_dict(res)}
+    mis, res = luby_mis(g_sparse, seed=6)
+    out["luby_mis/gnp24"] = {"mis": sorted(mis), "res": _res_dict(res)}
+
+    m, res = israeli_itai_matching(g_sparse, seed=5)
+    out["israeli_itai/gnp24"] = {"edges": _edges(m), "res": _res_dict(res)}
+    m, res = israeli_itai_matching(g_ba, seed=7)
+    out["israeli_itai/ba30"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    m, res = bipartite_mcm(g_crown, 3, xs=xs, seed=7)
+    out["bipartite_mcm/crown5"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    m, res, iters = general_mcm(g_comb, 3, seed=7)
+    out["general_mcm/comb8"] = {
+        "edges": _edges(m),
+        "iterations": iters,
+        "res": _res_dict(res),
+    }
+
+    m, stats = generic_mcm(g_comb, k=2, seed=7)
+    out["generic_mcm/comb8"] = {
+        "edges": _edges(m),
+        "conflict_sizes": {str(k): v for k, v in sorted(stats.conflict_sizes.items())},
+        "mis_sizes": {str(k): v for k, v in sorted(stats.mis_sizes.items())},
+        "res": _res_dict(stats.result),
+    }
+
+    m, res, iters = weighted_mwm(g_w, eps=0.3, seed=7)
+    out["weighted_mwm/gnp20w"] = {
+        "edges": _edges(m),
+        "weight": m.weight(),
+        "iterations": iters,
+        "res": _res_dict(res),
+    }
+
+    m, iters = weighted_mwm_reference(g_w, eps=0.3)
+    out["weighted_mwm_reference/gnp20w"] = {
+        "edges": _edges(m),
+        "weight": m.weight(),
+        "iterations": iters,
+    }
+
+    m, passes = kopt_mwm(g_w, k=2)
+    out["kopt_mwm/gnp20w"] = {
+        "edges": _edges(m),
+        "weight": m.weight(),
+        "passes": passes,
+    }
+
+    m, res = hoepman_mwm(g_w)
+    out["hoepman/gnp20w"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    m, res = lps_mwm(g_w, seed=9)
+    out["lps_mwm/gnp20w"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    m, res = lps_interleaved_mwm(g_w, seed=9)
+    out["lps_interleaved/gnp20w"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    colors, res = ring_coloring(g_ring)
+    out["cole_vishkin_coloring/ring9"] = {
+        "colors": {str(k): colors[k] for k in sorted(colors)},
+        "res": _res_dict(res),
+    }
+    m, res = ring_maximal_matching(g_ring)
+    out["cole_vishkin_matching/ring9"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    m = pim_matching(g_crown, xs, ys, seed=3)
+    out["pim/crown5"] = {"edges": _edges(m)}
+
+    m = greedy_maximal_matching(g_sparse, rng=np.random.default_rng(11))
+    out["greedy_maximal/gnp24"] = {"edges": _edges(m)}
+    m = greedy_mwm(g_w)
+    out["greedy_mwm/gnp20w"] = {"edges": _edges(m), "weight": m.weight()}
+
+    m = hopcroft_karp(g_crown, xs=xs)
+    out["hopcroft_karp/crown5"] = {"edges": _edges(m)}
+    out["oracle_sizes"] = {
+        "gnp24": maximum_matching_size(g_sparse),
+        "ba30": maximum_matching_size(g_ba),
+        "comb8": maximum_matching_size(g_comb),
+    }
+    return out
+
+
+def to_canonical_json(goldens: dict[str, Any]) -> str:
+    """Stable serialization used both for capture and comparison."""
+    return json.dumps(goldens, indent=1, sort_keys=True)
+
+
+def main() -> None:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(to_canonical_json(compute_goldens()) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -159,6 +159,149 @@ class TestAccounting:
         assert res.total_rounds == 17
 
 
+class TestActiveList:
+    """The round loop must cost O(live), not O(n) (ISSUE 2 satellite)."""
+
+    def test_staggered_finish_on_path(self):
+        """Nodes on a path finish at staggered rounds; resumes shrink."""
+        n = 32
+
+        def prog(node):
+            for _ in range(node.id + 1):
+                yield
+            node.finish(node.id)
+
+        net = Network(path_graph(n), prog)
+        res = net.run()
+        assert res.outputs == {v: v for v in range(n)}
+        # Node v is resumed v+2 times (v+1 yields + the returning
+        # resume): Σ(v+2) — not rounds × n, which a full-scan engine
+        # would pay in program resumes were it resuming dead nodes.
+        assert net.total_resumes == sum(v + 2 for v in range(n))
+        assert res.rounds == n
+        assert net.total_resumes < res.rounds * n
+
+    def test_late_messages_after_most_finish(self):
+        """The last live pair still communicates after others finish."""
+        n = 16
+
+        def prog(node):
+            if node.id < n - 2:
+                return
+            for _ in range(5):
+                yield
+            if node.id == n - 2:
+                node.send(n - 1, "late")
+            yield
+            if node.id == n - 1:
+                node.finish([p for _, p in node.inbox])
+
+        res = Network(path_graph(n), prog).run()
+        assert res.outputs[n - 1] == ["late"]
+        assert res.total_messages == 1
+
+    def test_stale_inbox_cleared_when_no_new_messages(self):
+        """A recipient's inbox empties on rounds with no traffic."""
+
+        def prog(node):
+            if node.id == 0:
+                node.send(1, "once")
+                yield
+                yield
+                return
+            yield
+            got_first = len(node.inbox)
+            yield
+            node.finish((got_first, len(node.inbox)))
+
+        res = Network(path_graph(2), prog).run()
+        assert res.outputs[1] == (1, 0)
+
+
+class TestGroupedSends:
+    def test_send_many_matches_individual_sends(self):
+        def individually(node):
+            if node.id == 0:
+                for u in node.neighbors:
+                    node.send(u, 7)
+            yield
+
+        def grouped(node):
+            if node.id == 0:
+                node.send_many(node.neighbors, 7)
+            yield
+
+        a = Network(star_graph(5), individually).run()
+        b = Network(star_graph(5), grouped).run()
+        assert (a.total_messages, a.total_bits, a.max_message_bits) == (
+            b.total_messages,
+            b.total_bits,
+            b.max_message_bits,
+        )
+
+    def test_broadcast_is_grouped_and_counted_per_recipient(self):
+        def prog(node):
+            if node.id == 0:
+                node.broadcast("x")
+            yield
+            node.finish([p for _, p in node.inbox])
+
+        res = Network(star_graph(4), prog).run()
+        assert res.total_messages == 3
+        assert res.total_bits == 3 * 8
+        assert all(res.outputs[v] == ["x"] for v in range(1, 4))
+
+    def test_send_many_to_non_neighbor_rejected(self):
+        def prog(node):
+            if node.id == 0:
+                node.send_many((1, 2), "bad")  # 0-2 not an edge in a path
+            yield
+
+        with pytest.raises(ValueError, match="non-neighbor 2"):
+            Network(path_graph(3), prog).run()
+
+    def test_send_many_empty_group_is_noop(self):
+        def prog(node):
+            node.send_many((), "nothing")
+            yield
+
+        res = Network(path_graph(2), prog).run()
+        assert res.total_messages == 0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [0, 1, 7, -3, 2**70, -(2**70), True, None, 3.5, "", "x", "abcd",
+         (1, "a"), [2, 3], {"k": 1}],
+        ids=repr,
+    )
+    def test_engine_accounting_agrees_with_bit_size(self, payload):
+        """The engine's inline sizing fast paths must match bit_size.
+
+        Every payload shape goes through both the single-send and the
+        grouped-send path; total_bits and max_message_bits must equal
+        what message.bit_size computes.
+        """
+        from repro.distributed.message import bit_size
+
+        expected = bit_size(payload)
+
+        def single(node):
+            if node.id == 0:
+                node.send(1, payload)
+            yield
+
+        def grouped(node):
+            if node.id == 0:
+                node.send_many((1,), payload)
+            yield
+
+        for prog in (single, grouped):
+            res = Network(path_graph(2), prog).run()
+            assert res.total_messages == 1
+            assert res.total_bits == expected
+            assert res.max_message_bits == expected
+
+
 class TestDeterminism:
     def test_same_seed_same_outputs(self):
         def prog(node):
@@ -201,5 +344,5 @@ class TestParams:
             node.finish(node.neighbors)
 
         res = Network(g, prog).run()
-        assert res.outputs[0] == [1, 2]
-        assert res.outputs[1] == [0]
+        assert res.outputs[0] == (1, 2)
+        assert res.outputs[1] == (0,)

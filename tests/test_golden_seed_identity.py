@@ -1,0 +1,52 @@
+"""Seed-identity golden tests for the CSR refactor (ISSUE 2).
+
+``tests/goldens/seed_identity.json`` was captured by running
+``python -m tests.golden_harness`` at the *pre-refactor* commit.  These
+tests recompute the same snapshot on the current code and require
+byte-identical JSON — every core algorithm and baseline must produce
+exactly the same matchings, MIS sets, colorings, rounds, message
+counts, and bit totals as the old list-of-tuples graph and O(n)-scan
+round engine.  A legitimate behavior change requires deliberately
+recapturing the goldens and saying so in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden_harness import GOLDEN_PATH, compute_goldens, to_canonical_json
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    assert GOLDEN_PATH.exists(), (
+        "golden file missing; capture it with "
+        "`PYTHONPATH=src python -m tests.golden_harness`"
+    )
+    current = compute_goldens()
+    recorded = json.loads(GOLDEN_PATH.read_text())
+    return current, recorded
+
+
+def test_golden_catalog_unchanged(snapshots):
+    current, recorded = snapshots
+    assert sorted(current) == sorted(recorded)
+
+
+@pytest.mark.parametrize(
+    "case",
+    sorted(json.loads(GOLDEN_PATH.read_text())) if GOLDEN_PATH.exists() else [],
+)
+def test_case_matches_golden(snapshots, case):
+    current, recorded = snapshots
+    # Round-trip through JSON so tuples/lists compare on equal footing.
+    assert json.loads(json.dumps(current[case])) == recorded[case], (
+        f"{case} diverged from the pre-refactor golden"
+    )
+
+
+def test_full_snapshot_byte_identical(snapshots):
+    current, _ = snapshots
+    assert to_canonical_json(current) + "\n" == GOLDEN_PATH.read_text()

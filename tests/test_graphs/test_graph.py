@@ -1,5 +1,6 @@
 """Unit tests for the Graph data structure."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 
@@ -50,11 +51,11 @@ class TestConstruction:
 class TestQueries:
     def test_neighbors_port_order(self):
         g = Graph(4, [(0, 2), (0, 1), (0, 3)])
-        assert g.neighbors(0) == [2, 1, 3]  # insertion order = ports
+        assert g.neighbors(0) == (2, 1, 3)  # insertion order = ports
 
     def test_incident_gives_edge_ids(self):
         g = Graph(3, [(0, 1), (0, 2)])
-        assert g.incident(0) == [(1, 0), (2, 1)]
+        assert g.incident(0) == ((1, 0), (2, 1))
 
     def test_degree_and_max_degree(self):
         g = Graph(4, [(0, 1), (0, 2), (0, 3)])
@@ -76,6 +77,21 @@ class TestQueries:
         assert g.has_edge(0, 1) and g.has_edge(1, 0)
         assert not g.has_edge(0, 2)
 
+    def test_out_of_range_queries_never_alias_real_edges(self):
+        # Regression: the flat u*n+v key must not collide for vertices
+        # outside [0, n): (0, 7) would hash like (1, 2) on n=5.
+        g = Graph(5, [(1, 2)])
+        assert not g.has_edge(0, 7)
+        assert not g.has_edge(-1, 4)
+        with pytest.raises(KeyError):
+            g.edge_id(0, 7)
+
+    def test_float_edge_endpoints_rejected(self):
+        with pytest.raises(TypeError, match="integers"):
+            Graph(3, [(0.9, 1.2)])
+        with pytest.raises(TypeError, match="integers"):
+            Graph(3, np.array([[0.0, 1.0]]))
+
     def test_unweighted_weight_is_one(self):
         g = Graph(2, [(0, 1)])
         assert g.weight(0, 1) == 1.0
@@ -91,6 +107,72 @@ class TestQueries:
     def test_total_weight_unweighted_counts_edges(self):
         g = Graph(4, [(0, 1), (2, 3)])
         assert g.total_weight() == 2.0
+
+
+class TestBulkAccessors:
+    """The CSR array surface added by the ISSUE 2 refactor."""
+
+    def test_array_edge_input(self):
+        g = Graph(3, np.array([[2, 0], [1, 2]]))
+        assert g.edges() == [(0, 2), (1, 2)]
+
+    def test_degrees_matches_scalar_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (2, 3)])
+        assert g.degrees().tolist() == [g.degree(v) for v in range(4)]
+
+    def test_endpoints_array_aligned_with_edges(self):
+        g = Graph(4, [(3, 0), (1, 2)])
+        lo, hi = g.endpoints_array()
+        assert list(zip(lo.tolist(), hi.tolist())) == g.edges()
+
+    def test_weights_array(self):
+        gw = Graph(3, [(0, 1), (1, 2)], [2.5, 7.0])
+        assert gw.weights_array().tolist() == [2.5, 7.0]
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.weights_array().tolist() == [1.0, 1.0]
+
+    def test_incident_view_is_port_ordered(self):
+        g = Graph(4, [(0, 2), (0, 1), (0, 3)])
+        nbrs, eids = g.incident_view(0)
+        assert nbrs.tolist() == [2, 1, 3]
+        assert eids.tolist() == [0, 1, 2]
+
+    def test_incident_view_is_view_not_copy(self):
+        g = Graph(4, [(0, 2), (0, 1), (0, 3)])
+        nbrs, _ = g.incident_view(0)
+        _, indices, _ = g.adjacency_arrays()
+        assert nbrs.base is indices or nbrs.base is indices.base
+
+    def test_views_are_read_only(self):
+        g = Graph(3, [(0, 1), (1, 2)], [1.0, 2.0])
+        nbrs, eids = g.incident_view(1)
+        for arr in (nbrs, eids, g.weights_array(), *g.endpoints_array()):
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_sorted_neighbors(self):
+        g = Graph(5, [(0, 4), (0, 1), (0, 3), (0, 2)])
+        assert g.sorted_neighbors(0).tolist() == [1, 2, 3, 4]
+        # aligned edge ids: neighbor k was inserted as edge ...
+        snbrs = g.sorted_neighbors(0).tolist()
+        seids = g.sorted_incident_eids(0).tolist()
+        for u, eid in zip(snbrs, seids):
+            assert g.edge_id(0, u) == eid
+
+    def test_neighbor_sets_cached_and_correct(self):
+        g = Graph(4, [(0, 1), (0, 2), (2, 3)])
+        sets = g.neighbor_sets()
+        assert sets[0] == {1, 2} and sets[3] == {2}
+        assert g.neighbor_sets() is sets  # built once, shared
+
+    @given(graphs())
+    def test_bulk_and_scalar_agree(self, g):
+        lo, hi = g.endpoints_array()
+        assert g.degrees().sum() == 2 * g.m
+        for v in g.vertices():
+            nbrs, eids = g.incident_view(v)
+            assert tuple(nbrs.tolist()) == g.neighbors(v)
+            assert tuple(zip(nbrs.tolist(), eids.tolist())) == g.incident(v)
 
 
 class TestStructure:
