@@ -17,6 +17,7 @@ from repro.analysis.runner import (
 )
 from repro.analysis.scenarios import (
     ALGORITHMS,
+    ARRAY_PORTED,
     SCENARIOS,
     build_scenario,
     run_scenario_cell,
@@ -39,6 +40,7 @@ __all__ = [
     "repeat",
     "sweep",
     "ALGORITHMS",
+    "ARRAY_PORTED",
     "SCENARIOS",
     "build_scenario",
     "run_scenario_cell",

@@ -155,6 +155,7 @@ class ParallelRunner:
         root_seed: int = 0,
         seeds_per_cell: int = 3,
         artifact: str | os.PathLike | None = None,
+        common: dict[str, Any] | None = None,
     ) -> list[ExperimentResult]:
         """Full sweep: each parameter point is one cell, fanned out.
 
@@ -164,11 +165,16 @@ class ParallelRunner:
         its own independent ``seeds_per_cell`` seeds via
         :func:`cell_seeds` spawned from ``root_seed``.
 
+        ``common`` holds sweep-wide parameters merged into every point
+        (a point's own value wins on collision) — how run-wide knobs
+        like the execution ``backend`` ride through the fan-out and land
+        in every cell's recorded ``params``.
+
         When ``artifact`` names a path, one JSON line per cell is
         streamed to it as cells complete (in submission order), so a
         long sweep is inspectable — and recoverable — mid-flight.
         """
-        points = [dict(p) for p in points]
+        points = [{**(common or {}), **dict(p)} for p in points]
         if seeds is not None:
             seed_lists = [list(seeds)] * len(points)
         else:

@@ -113,6 +113,11 @@ ALGORITHMS: dict[str, float] = {
     "weighted_mwm": 0.5 - 0.1,         # Thm 4.5 with ε=0.1
 }
 
+#: algorithms with an array-program port; the rest fall back to the
+#: generator backend when ``backend="array"`` is requested (recorded
+#: per cell as ``array_backend`` so artifacts stay self-describing).
+ARRAY_PORTED: frozenset[str] = frozenset({"generic_mcm"})
+
 
 def build_scenario(name: str, size: int, seed: int) -> Graph:
     """Instantiate a catalog family at the given scale and seed."""
@@ -142,18 +147,28 @@ def _check_matching(g: Graph, m: Matching) -> None:
 
 
 def run_scenario_cell(
-    scenario: str, algo: str, size: int = 20, seed: int = 0
+    scenario: str, algo: str, size: int = 20, seed: int = 0,
+    backend: str = "generator",
 ) -> dict[str, float]:
     """One matrix cell: build the graph, run the algorithm, check bounds.
 
     Returns ``value`` (matching size/weight), ``opt`` (exact oracle),
-    ``ratio``, the paper ``bound`` for the cell's parameters, and
-    ``ok`` = 1.0 iff the matching is valid and meets the bound.  Cells
-    where the algorithm does not apply (bipartite_mcm on an odd cycle)
-    report ``skipped`` = 1.0 instead.
+    ``ratio``, the paper ``bound`` for the cell's parameters,
+    ``array_backend`` = 1.0 iff the cell actually executed on the
+    array backend (requesting ``"array"`` for an algorithm without an
+    array port falls back to the generator engine — the reference
+    semantics — and records 0.0), and ``ok`` = 1.0 iff the matching is
+    valid and meets the bound.  Cells where the algorithm does not
+    apply (bipartite_mcm on an odd cycle) report ``skipped`` = 1.0
+    instead.  Backend choice never changes ``value``/``ratio``: both
+    engines are seed-identical by construction.
     """
     if algo not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algo!r}; pick from {sorted(ALGORITHMS)}")
+    from repro.distributed.backends import resolve_backend
+
+    resolve_backend(backend)  # reject unknown names before running
+    used = backend if algo in ARRAY_PORTED else "generator"
     g = build_scenario(scenario, size, seed)
     bound = ALGORITHMS[algo]
     if algo == "bipartite_mcm":
@@ -163,7 +178,7 @@ def run_scenario_cell(
         m, _ = bipartite_mcm(g, k=3, xs=part[0], seed=seed)
         value, opt = float(len(m)), float(len(hopcroft_karp(g, part[0])))
     elif algo == "generic_mcm":
-        m, _ = generic_mcm(g, k=2, seed=seed)
+        m, _ = generic_mcm(g, k=2, seed=seed, backend=used)
         value, opt = float(len(m)), float(maximum_matching_size(g))
     elif algo == "general_mcm":
         m, _, _ = general_mcm(g, k=3, seed=seed)
@@ -180,6 +195,7 @@ def run_scenario_cell(
         "opt": opt,
         "ratio": ratio,
         "bound": bound,
+        "array_backend": 1.0 if used == "array" else 0.0,
         "ok": 1.0 if ratio >= bound - 1e-9 else 0.0,
     }
 
@@ -191,12 +207,15 @@ def scenario_matrix(
     seeds: Iterable[int] | None = None,
     workers: int = 1,
     artifact: str | None = None,
+    backend: str = "generator",
 ) -> list[ExperimentResult]:
     """Run the full scenario × algorithm matrix via :class:`ParallelRunner`.
 
     Each (scenario, algorithm) pair is one sweep cell; with
     ``seeds=None`` the cells draw independent ``SeedSequence``-spawned
-    seeds, so the matrix is deterministic for any worker count.
+    seeds, so the matrix is deterministic for any worker count.  The
+    execution ``backend`` rides through the runner's ``common``
+    parameters into every cell (and its recorded params).
     """
     scenarios = list(SCENARIOS) if scenarios is None else list(scenarios)
     algos = list(ALGORITHMS) if algos is None else list(algos)
@@ -209,6 +228,7 @@ def scenario_matrix(
         points,
         seeds=list(seeds) if seeds is not None else None,
         artifact=artifact,
+        common={"backend": backend},
     )
 
 

@@ -17,6 +17,11 @@ per phase in expectation, giving O(log n) phases w.h.p.
 A phase costs 3 communication rounds (propose / accept / announce).
 Nodes terminate locally when matched or out of unmatched neighbors, so
 the network run ends exactly when the matching is maximal.
+
+Two executable forms (ISSUE 3): :func:`israeli_itai_program` is the
+generator spec, :func:`israeli_itai_array` the vectorized array
+program; ``israeli_itai_matching(..., backend=...)`` picks, and both
+produce byte-identical ``RunResult``s from the same seed.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Generator
 
 import numpy as np
 
+from repro.distributed.backends import ArrayContext, run_program
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -70,12 +76,111 @@ def israeli_itai_program(node: Node) -> Generator[None, None, int]:
                 active.discard(src)
 
 
+def israeli_itai_array(ctx: ArrayContext) -> list[int]:
+    """Array program twin of :func:`israeli_itai_program`.
+
+    SoA state: an ``int64`` ``mate`` column and an ``alive`` mask of
+    not-yet-returned nodes.  A live node's *active* set in the
+    generator form is its never-matched neighbors (every matched node
+    announces ``_MATCHED`` in its matching phase, and a node that quits
+    unmatched provably has no unmatched neighbors left), so the
+    residual graph is implied by ``mate == -1``.  The coin flips and
+    the proposer/acceptor ``choice`` draws are replayed per node with
+    the identical RNG calls the generator program makes; proposal
+    routing, success detection, and accounting are vectorized.
+    """
+    g = ctx.graph
+    size = ctx.n
+    outputs: list[int | None] = [None] * size
+    mate = np.full(size, -1, dtype=np.int64)
+    alive = np.ones(size, dtype=bool)
+    degrees = g.degrees()
+    rngs = ctx.rngs
+    eight = np.int64(8)  # every tag payload is one 8-bit character
+    while alive.any():
+        # Resume A: matched nodes and nodes with no unmatched neighbor
+        # return; the rest flip proposer coins and send invitations.
+        ctx.begin_step(int(alive.sum()))
+        unmatched = mate == -1
+        residual_deg = ctx.masked_degrees(unmatched)
+        for v in np.flatnonzero(alive & ~unmatched).tolist():
+            outputs[v] = int(mate[v])
+        for v in np.flatnonzero(alive & unmatched & (residual_deg == 0)).tolist():
+            outputs[v] = -1
+        alive &= unmatched & (residual_deg > 0)
+        live = np.flatnonzero(alive)
+        if live.size == 0:
+            break  # everyone returned without yielding: no round counted
+        proposer = np.zeros(size, dtype=bool)
+        target = np.full(size, -1, dtype=np.int64)
+        for v in live.tolist():
+            if rngs[v].integers(0, 2):
+                candidates = g.sorted_neighbors(v)
+                candidates = candidates[unmatched[candidates]].tolist()
+                target[v] = int(rngs[v].choice(candidates))
+                proposer[v] = True
+        proposer_ids = np.flatnonzero(proposer)
+        ctx.account_groups(
+            np.full(proposer_ids.size, eight), np.ones(proposer_ids.size, np.int64)
+        )
+        ctx.end_step(True)
+        # Resume B: each acceptor (non-proposer) picks one incoming
+        # proposal uniformly at random and replies.
+        ctx.begin_step(live.size)
+        accepted_by = np.full(size, -1, dtype=np.int64)
+        targets = target[proposer_ids]
+        accept_count = 0
+        if targets.size:
+            order = np.argsort(targets, kind="stable")  # per-target, src asc.
+            sorted_targets = targets[order]
+            sorted_srcs = proposer_ids[order]
+            bounds = np.flatnonzero(
+                np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
+            )
+            bounds = np.append(bounds, sorted_targets.size)
+            for k in range(bounds.size - 1):
+                dst = int(sorted_targets[bounds[k]])
+                if proposer[dst]:
+                    continue  # proposers ignore incoming proposals
+                proposals = sorted_srcs[bounds[k]: bounds[k + 1]].tolist()
+                accepted_by[dst] = int(rngs[dst].choice(proposals))
+                accept_count += 1
+        ctx.account_groups(
+            np.full(accept_count, eight), np.ones(accept_count, np.int64)
+        )
+        ctx.end_step(True)
+        # Resume C: proposers learn acceptance; every freshly matched
+        # node broadcasts _MATCHED to its *full* neighborhood.
+        ctx.begin_step(live.size)
+        successful = proposer_ids[accepted_by[targets] == proposer_ids]
+        mate[successful] = target[successful]
+        acceptors = np.flatnonzero(accepted_by != -1)
+        mate[acceptors] = accepted_by[acceptors]
+        matched_now = np.concatenate((successful, acceptors))
+        ctx.account_groups(
+            np.full(matched_now.size, eight), degrees[matched_now]
+        )
+        ctx.end_step(True)
+    return outputs
+
+
 def israeli_itai_matching(
-    g: Graph, seed: int = 0, max_rounds: int = 100_000
+    g: Graph, seed: int = 0, max_rounds: int = 100_000,
+    backend: str = "generator",
 ) -> tuple[Matching, RunResult]:
-    """Run Israeli–Itai on ``g``; returns (maximal matching, run metrics)."""
-    net = Network(g, israeli_itai_program, seed=seed)
-    res = net.run(max_rounds=max_rounds)
+    """Run Israeli–Itai on ``g``; returns (maximal matching, run metrics).
+
+    ``backend`` selects the execution engine (``"generator"`` or
+    ``"array"``); both yield byte-identical results from the same seed.
+    """
+    res = run_program(
+        g,
+        backend=backend,
+        generator_program=israeli_itai_program,
+        array_program=israeli_itai_array,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
     return matching_from_mates(g, res.outputs), res
 
 

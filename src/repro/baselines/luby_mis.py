@@ -15,6 +15,11 @@ A phase costs 2 rounds (numbers / membership announcements).  Numbers
 are drawn from [1, N⁴] as in Section 3.2, so a message is O(log N)
 bits.  Nodes terminate locally once decided, and announce their
 decision so undecided neighbors can prune.
+
+Two executable forms (ISSUE 3): :func:`luby_mis_program` is the
+generator spec, :func:`luby_mis_array` the vectorized array program;
+``luby_mis(..., backend=...)`` picks, and both produce byte-identical
+``RunResult``s from the same seed.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Generator
 
 import numpy as np
 
+from repro.distributed.backends import ArrayContext, int_payload_bits, run_program
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -73,12 +79,91 @@ def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
         yield  # round 3: withdrawals in flight
 
 
+def luby_mis_array(ctx: ArrayContext, n: int) -> list[bool]:
+    """Array program twin of :func:`luby_mis_program`.
+
+    State is struct-of-arrays: an ``alive`` mask (undecided nodes) and
+    per-phase ``int64`` number columns.  The residual graph is implied
+    by the mask — a live node's *active* set in the generator form is
+    exactly its live neighbors, because withdrawers announce ``_OUT``
+    and MIS winners eliminate their whole neighborhood in the same
+    phase — so each 3-resume phase is a handful of CSR segment
+    reductions.  Only the draw of each node's random number stays a
+    Python loop, consuming the node RNG streams exactly as the
+    generator program does.
+    """
+    size = ctx.n
+    outputs: list[bool | None] = [None] * size
+    alive = np.ones(size, dtype=bool)
+    hi = max(2, n) ** 4
+    rngs = ctx.rngs
+    while alive.any():
+        # Resume A: withdrawals from last phase are already folded into
+        # ``alive``; isolated-in-the-residual nodes join and return.
+        ctx.begin_step(int(alive.sum()))
+        live_deg = ctx.masked_degrees(alive)
+        live = np.flatnonzero(alive)
+        isolated = live[live_deg[live] == 0]
+        for v in isolated.tolist():
+            outputs[v] = True
+        alive[isolated] = False
+        senders = live[live_deg[live] > 0]
+        if senders.size == 0:
+            break  # everyone returned without yielding: no round counted
+        numbers = np.empty(senders.size, dtype=np.int64)
+        for i, v in enumerate(senders.tolist()):
+            numbers[i] = rngs[v].integers(1, hi + 1)
+        ctx.account_groups(int_payload_bits(numbers), live_deg[senders])
+        ctx.end_step(True)
+        # Resume B: a node wins iff its number beats every live
+        # neighbor's; winners announce membership (8-bit tag).
+        ctx.begin_step(senders.size)
+        scattered = np.zeros(size, dtype=np.int64)
+        scattered[senders] = numbers
+        winner = numbers > ctx.neighbor_max(scattered, mask=alive)[senders]
+        winner_ids = senders[winner]
+        ctx.account_groups(
+            np.full(winner_ids.size, 8, dtype=np.int64), live_deg[winner_ids]
+        )
+        ctx.end_step(True)
+        # Resume C: winners return; their neighbors withdraw (8-bit
+        # ``_OUT`` to the whole phase-start active set) and return.
+        ctx.begin_step(senders.size)
+        won = np.zeros(size, dtype=bool)
+        won[winner_ids] = True
+        beaten = ctx.neighbor_any(won)[senders]
+        loser_ids = senders[~winner & beaten]
+        ctx.account_groups(
+            np.full(loser_ids.size, 8, dtype=np.int64), live_deg[loser_ids]
+        )
+        ctx.end_step(bool((~winner & ~beaten).any()))
+        for v in winner_ids.tolist():
+            outputs[v] = True
+        for v in loser_ids.tolist():
+            outputs[v] = False
+        alive[winner_ids] = False
+        alive[loser_ids] = False
+    return outputs
+
+
 def luby_mis(
-    g: Graph, seed: int = 0, max_rounds: int = 100_000
+    g: Graph, seed: int = 0, max_rounds: int = 100_000,
+    backend: str = "generator",
 ) -> tuple[set[int], RunResult]:
-    """Run Luby's MIS on ``g``; returns (MIS vertex set, run metrics)."""
-    net = Network(g, luby_mis_program, params={"n": g.n}, seed=seed)
-    res = net.run(max_rounds=max_rounds)
+    """Run Luby's MIS on ``g``; returns (MIS vertex set, run metrics).
+
+    ``backend`` selects the execution engine (``"generator"`` or
+    ``"array"``); both yield byte-identical results from the same seed.
+    """
+    res = run_program(
+        g,
+        backend=backend,
+        generator_program=luby_mis_program,
+        array_program=luby_mis_array,
+        params={"n": g.n},
+        seed=seed,
+        max_rounds=max_rounds,
+    )
     return {v for v, joined in res.outputs.items() if joined}, res
 
 

@@ -12,7 +12,10 @@ Gives downstream users the paper's algorithms without writing Python:
 * ``python -m repro file <edgelist> --algo bipartite --k 3``  (your own graph)
 
 Every command prints the matching size/weight, the exact optimum, the
-achieved ratio, and the measured distributed cost.
+achieved ratio, and the measured distributed cost.  ``generic``,
+``baselines``, and ``scenarios`` accept ``--backend {generator,array}``
+to pick the execution engine (results are seed-identical either way;
+only the wall clock changes).
 """
 
 from __future__ import annotations
@@ -69,9 +72,9 @@ def cmd_general(args) -> int:
 
 def cmd_generic(args) -> int:
     g = gnp_random(args.n, args.p, seed=args.seed)
-    m, stats = generic_mcm(g, k=args.k, seed=args.seed)
+    m, stats = generic_mcm(g, k=args.k, seed=args.seed, backend=args.backend)
     opt = maximum_matching_size(g)
-    print(f"G(n,p): {g.n} vertices, {g.m} edges")
+    print(f"G(n,p): {g.n} vertices, {g.m} edges ({args.backend} backend)")
     _print_result(f"generic_mcm (Thm 3.1, k={args.k})", len(m), opt, stats.result)
     print(f"  conflict graph sizes per phase: {stats.conflict_sizes}")
     return 0
@@ -95,7 +98,7 @@ def cmd_baselines(args) -> int:
     opt = maximum_matching_size(g)
     wopt = maximum_matching_weight(gw)
     rows = []
-    ii, res = israeli_itai_matching(g, seed=args.seed)
+    ii, res = israeli_itai_matching(g, seed=args.seed, backend=args.backend)
     rows.append(["Israeli-Itai (1/2-MCM)", len(ii), opt, len(ii) / opt, res.rounds])
     lm, res = lps_mwm(gw, seed=args.seed)
     rows.append(["LPS-style (1/4-MWM)", round(lm.weight(), 1), round(wopt, 1),
@@ -178,6 +181,7 @@ def cmd_scenarios(args) -> int:
             seeds=range(args.seed, args.seed + args.repeats),
             workers=args.workers,
             artifact=args.out,
+            backend=args.backend,
         )
     except OSError as e:
         if args.out is None:
@@ -249,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--p", type=float, default=pdef, help="edge probability")
         sp.add_argument("--seed", type=int, default=0)
 
+    def backend_opt(sp):
+        sp.add_argument(
+            "--backend", choices=("generator", "array"), default="generator",
+            help="execution engine (seed-identical results either way)",
+        )
+
     sp = sub.add_parser("bipartite", help="Theorem 3.8 on a random bipartite graph")
     common(sp)
     sp.add_argument("--k", type=int, default=3, help="guarantee 1-1/k")
@@ -262,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("generic", help="Theorem 3.1 on G(n,p) (LOCAL model)")
     common(sp, n=30, pdef=0.1)
     sp.add_argument("--k", type=int, default=2)
+    backend_opt(sp)
     sp.set_defaults(fn=cmd_generic)
 
     sp = sub.add_parser("weighted", help="Theorem 4.5 on weighted G(n,p)")
@@ -271,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("baselines", help="run all prior-work baselines")
     common(sp, n=80, pdef=0.06)
+    backend_opt(sp)
     sp.set_defaults(fn=cmd_baselines)
 
     sp = sub.add_parser("switch", help="switch scheduler comparison")
@@ -293,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restrict to an algorithm (repeatable)")
     sp.add_argument("--out", default=None, help="stream JSONL records here")
     sp.add_argument("--seed", type=int, default=0)
+    backend_opt(sp)
     sp.set_defaults(fn=cmd_scenarios)
 
     sp = sub.add_parser("report", help="write a Markdown reproduction snapshot")

@@ -35,7 +35,8 @@ import numpy as np
 
 from repro.baselines.luby_mis import luby_mis
 from repro.core.conflict_graph import build_conflict_graph
-from repro.distributed.message import Sized
+from repro.distributed.backends import ArrayContext, run_program
+from repro.distributed.message import Sized, bit_size
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -77,6 +78,55 @@ def flood_views_program(
     return frozenset(known)
 
 
+def flood_views_array(
+    ctx: ArrayContext, depth: int, mates: list[int]
+) -> list[frozenset]:
+    """Array program twin of :func:`flood_views_program`.
+
+    Views are set-valued, so the per-node state stays Python sets (the
+    union work is identical either way); what the array form strips is
+    the whole message plane — no generator resumes, no per-neighbor
+    ``(src, records)`` tuples, no inbox bucketing, and no double sort
+    of the fresh records (a ``Sized`` payload's bit count is the sum
+    over its records, which is order-independent).  Accounting flows
+    through the context and matches the generator run bit for bit.
+    """
+    g = ctx.graph
+    size = ctx.n
+    neighbors = [g.neighbors(v) for v in range(size)]
+    fresh: list[set] = []
+    known: list[set] = []
+    for v in range(size):
+        my_mate = mates[v]
+        records = {(_VERTEX, v, my_mate == -1)}
+        for u in neighbors[v]:
+            a, b = (v, u) if v < u else (u, v)
+            records.add((_EDGE, a, b, u == my_mate))
+        fresh.append(records)
+        known.append(set(records))
+    for _ in range(depth):
+        ctx.begin_step(size)
+        bits = []
+        counts = []
+        for v in range(size):
+            if fresh[v] and neighbors[v]:
+                bits.append(sum(bit_size(rec) for rec in fresh[v]))
+                counts.append(len(neighbors[v]))
+        ctx.account_groups(bits, counts)
+        ctx.end_step(size > 0)
+        incoming: list[set] = [set() for _ in range(size)]
+        for v in range(size):
+            if fresh[v]:
+                for u in neighbors[v]:
+                    incoming[u] |= fresh[v]
+        for v in range(size):
+            new = incoming[v] - known[v]
+            known[v] |= new
+            fresh[v] = new
+    ctx.begin_step(size)  # final resume: every program returns
+    return [frozenset(k) for k in known]
+
+
 @dataclass
 class GenericStats:
     """Per-run accounting for :func:`generic_mcm`."""
@@ -96,12 +146,16 @@ def generic_mcm(
     eps: float | None = None,
     seed: int = 0,
     max_rounds: int = 1_000_000,
+    backend: str = "generator",
 ) -> tuple[Matching, GenericStats]:
     """Theorem 3.1: distributed (1−1/(k+1))-MCM (so ≥ (1−ε) for k=⌈1/ε⌉).
 
     Exactly one of ``k``/``eps`` must be given.  Randomness enters via
     the MIS subroutine.  Intended for small ℓ — the conflict graph has
-    n^O(ℓ) nodes, as in the paper.
+    n^O(ℓ) nodes, as in the paper.  ``backend`` selects the execution
+    engine for both distributed subroutines (the Algorithm 2 flooding
+    and the conflict-graph MIS); results are byte-identical across
+    backends for the same seed.
     """
     if (k is None) == (eps is None):
         raise ValueError("pass exactly one of k / eps")
@@ -120,13 +174,15 @@ def generic_mcm(
     for phase, ell in enumerate(range(1, 2 * k, 2)):
         mates = [m.mate(v) for v in range(g.n)]
         # Step 4 (Algorithm 2): flood views to distance 2ℓ.
-        flood_net = Network(
+        flood_res = run_program(
             g,
-            flood_views_program,
+            backend=backend,
+            generator_program=flood_views_program,
+            array_program=flood_views_array,
             params={"depth": 2 * ell, "mates": mates},
             seed=int(phase_seeds[phase].generate_state(1)[0]),
+            max_rounds=max_rounds,
         )
-        flood_res = flood_net.run(max_rounds=max_rounds)
         stats.views = dict(flood_res.outputs)
         stats.result = stats.result.merge(flood_res)
 
@@ -140,7 +196,9 @@ def generic_mcm(
         # Step 5: MIS of C_M(ℓ) via distributed Luby on the conflict
         # graph; charge Lemma 3.3's routing factor.
         mis, mis_res = luby_mis(
-            cg, seed=int(phase_seeds[k + phase].generate_state(1)[0])
+            cg,
+            seed=int(phase_seeds[k + phase].generate_state(1)[0]),
+            backend=backend,
         )
         stats.result.total_messages += mis_res.total_messages
         stats.result.total_bits += mis_res.total_bits

@@ -10,20 +10,53 @@ performs local computation.  Two model variants are supported:
   configurable bound and records the maximum observed message size so
   the paper's message-complexity claims are measurable.
 
-Node algorithms are Python generators: ``yield`` ends the round.
+Node algorithms are Python generators: ``yield`` ends the round —
+executed by the :class:`GeneratorBackend` (= :class:`Network`), the
+reference engine.  Algorithms may additionally ship an *array program*
+(vectorized per-round updates over struct-of-arrays state) executed by
+the :class:`ArrayBackend`; both conform to the :class:`ExecutionBackend`
+protocol and produce byte-identical results from the same seed (see
+``repro.distributed.backends``).
 """
 
+from repro.distributed.backends import (
+    BACKENDS,
+    ArrayBackend,
+    ArrayContext,
+    ExecutionBackend,
+    GeneratorBackend,
+    int_payload_bits,
+    resolve_backend,
+    run_program,
+)
 from repro.distributed.message import bit_size
-from repro.distributed.models import CONGEST, LOCAL, CongestViolation, Model
+from repro.distributed.models import (
+    CONGEST,
+    LOCAL,
+    CongestViolation,
+    Model,
+    congest_log_degree,
+    congest_with_bound,
+)
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 
 __all__ = [
     "bit_size",
+    "BACKENDS",
+    "ArrayBackend",
+    "ArrayContext",
+    "ExecutionBackend",
+    "GeneratorBackend",
+    "int_payload_bits",
+    "resolve_backend",
+    "run_program",
     "CONGEST",
     "LOCAL",
     "CongestViolation",
     "Model",
+    "congest_log_degree",
+    "congest_with_bound",
     "Network",
     "RunResult",
     "Node",

@@ -1,0 +1,354 @@
+"""Pluggable execution backends for the round engine.
+
+Layer 2 exposes *two* ways to execute a distributed algorithm, behind
+one :class:`ExecutionBackend` protocol:
+
+* :class:`GeneratorBackend` (= :class:`~repro.distributed.network.Network`)
+  — the reference semantics.  One Python generator per vertex, resumed
+  in lockstep; messages are real objects validated and delivered
+  through inboxes.  Every algorithm has a generator program, and the
+  generator run *defines* correct output and accounting.
+* :class:`ArrayBackend` — executes **array programs**: the same
+  algorithm expressed as per-round vectorized NumPy updates over
+  struct-of-arrays node state (``int64``/``float64`` state columns and
+  boolean active masks), with message *effects* computed by CSR-indexed
+  scatter/gather instead of materialized message objects.
+
+Both backends are constructed as ``Backend(graph, program, params=None,
+seed=0, model=LOCAL)`` and driven with ``run(max_rounds)``; they differ
+only in what ``program`` is.  An array program is a callable
+
+    ``program(ctx: ArrayContext, **params) -> Sequence[Any] | None``
+
+that owns its round loop and reports everything observable through the
+context:
+
+* ``ctx.rngs`` — per-node RNGs spawned exactly as the generator engine
+  spawns them (one ``SeedSequence(seed)``, ``spawn(n)``).  For seed
+  identity an array program must make the *same sequence of calls on
+  the same per-node generators* as its generator twin — randomness is
+  per node by construction, so this is the one part that stays a
+  (cheap) Python loop while everything else vectorizes.
+* ``ctx.begin_step(live)`` — start of one lockstep resume: raises the
+  same budget ``RuntimeError`` the generator engine raises when live
+  nodes remain past ``max_rounds``.
+* ``ctx.account_groups(bits, counts)`` — account one resume's grouped
+  sends.  A group is "one payload to ``count`` recipients" (what
+  ``Node.send_many``/``broadcast`` queue); totals, the bit-volume dot
+  product, the per-message peak, and the CONGEST bound check all match
+  :meth:`Network.run` exactly.  Empty groups are dropped, as the
+  generator engine drops them.
+* ``ctx.end_step(yielded)`` — a round is counted iff some node yielded
+  in this resume (programs that return without yielding cost zero
+  rounds), after the resume's messages are flushed — the same order as
+  the generator loop.
+
+Message *routing* needs no per-message work at all: senders may only
+address graph neighbors, so an array program reads "what did my
+neighbors send" straight off the CSR arrays.  The port-numbering
+invariant (see ``repro.graphs.graph``) makes this exact: vertex ``v``'s
+half-edges occupy ``indptr[v]:indptr[v+1]`` in a stable per-vertex
+order, so a value scattered to ``values[u]`` is gathered by every
+neighbor ``v`` via ``values[indices[indptr[v]:indptr[v+1]]]`` — the
+segment helpers below (:meth:`ArrayContext.masked_degrees`,
+:meth:`ArrayContext.neighbor_max`, :meth:`ArrayContext.neighbor_any`)
+are that gather fused with a per-vertex reduction.
+
+Divergence note (documented, deliberate): error *messages* carry less
+per-node context on the array side (no single offending node mid-scan).
+Error-path *accounting* matches: both engines raise a CONGEST violation
+before the offending resume's groups reach the counters (the generator
+engine batches its per-round flush, so an exception mid-scan drops that
+resume's batch too).  Everything on the success path — rounds,
+messages, bits, peak, outputs — is byte-identical, pinned by
+``tests/test_backend_identity.py`` against the seed-identity goldens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.distributed.metrics import RunResult
+from repro.distributed.models import LOCAL, CongestViolation, Model
+from repro.distributed.network import Network
+from repro.graphs.graph import Graph
+
+#: The reference backend: the generator-per-vertex engine.
+GeneratorBackend = Network
+
+#: An array program: drives its own round loop through an ArrayContext.
+ArrayProgram = Callable[..., "Sequence[Any] | None"]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What layers 3/4 may assume about an engine.
+
+    Structural: :class:`Network` conforms without inheriting.  The
+    construction convention (not expressible in a Protocol) is
+    ``Backend(graph, program, params=None, seed=0, model=LOCAL)``.
+    """
+
+    graph: Graph
+    result: RunResult
+
+    def run(self, max_rounds: int = 1_000_000) -> RunResult:
+        """Execute to completion; raise on budget/model violations."""
+        ...  # pragma: no cover - protocol
+
+    def charge_rounds(self, extra: int) -> None:
+        """Add analytically charged rounds to the result."""
+        ...  # pragma: no cover - protocol
+
+
+def int_payload_bits(values: np.ndarray | Sequence[int]) -> np.ndarray:
+    """Vectorized ``bit_size`` for integer payloads (sign + magnitude).
+
+    Matches :func:`repro.distributed.message.bit_size` on every int64:
+    ``1 + max(1, |v|.bit_length())``.  Exact (shift-based, no floating
+    log) so CONGEST checks and golden bit totals cannot drift.
+    """
+    v = np.abs(np.asarray(values, dtype=np.int64))
+    length = np.zeros(v.shape, dtype=np.int64)
+    x = v.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = x >= (np.int64(1) << shift)
+        length[big] += shift
+        x[big] >>= shift
+    length += x  # remaining 0/1 bit
+    return 1 + np.maximum(length, 1)
+
+
+class ArrayContext:
+    """Execution context handed to an array program.
+
+    Owns the CSR views, the lazily spawned per-node RNGs, and the
+    accounting that keeps :class:`ArrayBackend` runs byte-identical to
+    :class:`GeneratorBackend` runs (see module docstring).
+    """
+
+    __slots__ = (
+        "graph",
+        "n",
+        "indptr",
+        "indices",
+        "model",
+        "result",
+        "max_rounds",
+        "_limit",
+        "_seed",
+        "_rngs",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int,
+        model: Model,
+        limit: int | None,
+        result: RunResult,
+        max_rounds: int,
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.indptr, self.indices, _ = graph.adjacency_arrays()
+        self.model = model
+        self.result = result
+        self.max_rounds = max_rounds
+        self._limit = limit
+        self._seed = seed
+        self._rngs: list[np.random.Generator] | None = None
+
+    @property
+    def rngs(self) -> list[np.random.Generator]:
+        """Per-node RNGs, spawned exactly as the generator engine's.
+
+        Built on first access: programs that never draw (e.g. the
+        flooding of Algorithm 2) skip the O(n) spawn entirely.
+        """
+        if self._rngs is None:
+            seq = np.random.SeedSequence(self._seed)
+            self._rngs = [np.random.default_rng(c) for c in seq.spawn(self.n)]
+        return self._rngs
+
+    # -- lockstep accounting ------------------------------------------
+
+    def begin_step(self, live: int) -> None:
+        """Top of one resume: the generator loop's budget check."""
+        if live and self.result.rounds >= self.max_rounds:
+            raise RuntimeError(
+                f"{live} node(s) still running after {self.max_rounds} "
+                "rounds; lockstep protocol bug or budget too small"
+            )
+
+    def account_groups(
+        self,
+        bits: np.ndarray | Sequence[int],
+        counts: np.ndarray | Sequence[int],
+    ) -> None:
+        """Account one resume's grouped sends (one row per group).
+
+        ``bits[i]`` is the payload size of group ``i`` (sized once per
+        group, as ``send_many``/``broadcast`` are) and ``counts[i]``
+        its recipient count.  Totals, the ``bits @ counts`` volume, the
+        peak, and the CONGEST check reproduce :meth:`Network.run`.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        nonempty = counts > 0  # the generator engine skips empty groups
+        if not nonempty.all():
+            bits, counts = bits[nonempty], counts[nonempty]
+        if bits.size == 0:
+            return
+        peak = int(bits.max())
+        if self._limit is not None and peak > self._limit:
+            raise CongestViolation(
+                f"{peak}-bit message exceeds {self.model.name} bound of "
+                f"{self._limit} bits (round {self.result.rounds})"
+            )
+        res = self.result
+        res.total_messages += int(counts.sum())
+        res.total_bits += int(bits @ counts)
+        if peak > res.max_message_bits:
+            res.max_message_bits = peak
+
+    def end_step(self, yielded: bool) -> None:
+        """End of one resume: count a round iff some node yielded."""
+        if yielded:
+            self.result.rounds += 1
+
+    # -- CSR scatter/gather helpers -----------------------------------
+
+    def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        """Per-vertex count of neighbors with ``mask`` set (``int64[n]``).
+
+        One cumulative sum over the half-edge array, differenced at the
+        ``indptr`` boundaries.
+        """
+        if self.indices.size == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        csum = np.concatenate(
+            ([0], np.cumsum(mask[self.indices], dtype=np.int64))
+        )
+        return csum[self.indptr[1:]] - csum[self.indptr[:-1]]
+
+    def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
+        """Per-vertex "some neighbor has ``mask`` set" (``bool[n]``)."""
+        return self.masked_degrees(mask) > 0
+
+    def neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-vertex max of ``values`` over (optionally masked) neighbors.
+
+        Vertices with no (masked) neighbors get 0; ``values`` must be
+        nonnegative.  ``reduceat`` over the CSR segments; empty
+        segments are patched afterwards because ``reduceat`` yields the
+        next segment's head for them.
+        """
+        if self.indices.size == 0:
+            return np.zeros(self.n, dtype=values.dtype)
+        vals = values[self.indices]
+        if mask is not None:
+            vals = np.where(mask[self.indices], vals, 0)
+        starts = np.minimum(self.indptr[:-1], self.indices.size - 1)
+        out = np.maximum.reduceat(vals, starts)
+        out[self.indptr[:-1] == self.indptr[1:]] = 0
+        return out
+
+
+class ArrayBackend:
+    """Executes an array program over SoA node state.
+
+    Drop-in for :class:`Network` on ported algorithms: same constructor
+    shape, same ``run``/``charge_rounds`` surface, byte-identical
+    :class:`RunResult` from the same seed.  ``run`` is one-shot (the
+    whole execution happens inside the program); calling it again
+    returns the finished result, as a drained ``Network`` does.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: ArrayProgram,
+        params: dict[str, Any] | None = None,
+        seed: int = 0,
+        model: Model = LOCAL,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self._limit = model.limit(graph.n, graph.max_degree())
+        self._program = program
+        self._params = params or {}
+        self.result = RunResult()
+        self._ctx = ArrayContext(
+            graph, seed, model, self._limit, self.result, 0
+        )
+        self._ran = False
+
+    def prepare(self) -> "ArrayBackend":
+        """Eagerly do the per-node setup (RNG spawn) and return self.
+
+        ``Network`` pays this O(n) cost in its constructor; the array
+        context spawns lazily so programs that never draw skip it.
+        Benchmarks call ``prepare()`` to keep setup out of timed
+        round-loop sections, making the two backends' ``run`` timings
+        directly comparable.
+        """
+        _ = self._ctx.rngs
+        return self
+
+    def run(self, max_rounds: int = 1_000_000) -> RunResult:
+        """Execute the array program to completion (idempotent)."""
+        if not self._ran:
+            self._ctx.max_rounds = max_rounds
+            outputs = self._program(self._ctx, **self._params)
+            for v in range(self.graph.n):
+                self.result.outputs[v] = None if outputs is None else outputs[v]
+            self._ran = True
+        return self.result
+
+    def charge_rounds(self, extra: int) -> None:
+        """Add analytically charged rounds (see RunResult.charged_rounds)."""
+        self.result.charged_rounds += extra
+
+
+#: Backend registry — the seam layer 4 routes ``--backend`` through.
+BACKENDS: dict[str, type] = {
+    "generator": GeneratorBackend,
+    "array": ArrayBackend,
+}
+
+
+def resolve_backend(name: str) -> type:
+    """Backend class for ``name``; raises ``ValueError`` on unknowns."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; pick from {sorted(BACKENDS)}"
+        ) from None
+
+
+def run_program(
+    graph: Graph,
+    *,
+    backend: str,
+    generator_program: Callable[..., Any],
+    array_program: ArrayProgram,
+    params: dict[str, Any] | None = None,
+    seed: int = 0,
+    model: Model = LOCAL,
+    max_rounds: int = 1_000_000,
+) -> RunResult:
+    """Run an algorithm's program pair on the chosen backend.
+
+    The layer-3 routing helper: an algorithm hands over both of its
+    forms and the caller's ``backend`` string picks which executes.
+    """
+    cls = resolve_backend(backend)
+    program = generator_program if cls is GeneratorBackend else array_program
+    net = cls(graph, program, params=params, seed=seed, model=model)
+    return net.run(max_rounds=max_rounds)

@@ -27,6 +27,14 @@ Engine design (the CSR refactor of ISSUE 2):
 * messages are pre-bucketed into per-recipient lists during the sender
   scan, and bit accounting is flushed once per round from NumPy
   batches rather than updating counters per message.
+
+``Network`` is the **reference implementation** of the
+:class:`~repro.distributed.backends.ExecutionBackend` protocol
+(exported as ``GeneratorBackend``): its per-resume semantics — budget
+check at the top of every resume, grouped sends sized once and counted
+per recipient, a round counted iff some node yielded — define what any
+other backend (e.g. the vectorized ``ArrayBackend``) must reproduce
+byte for byte.
 """
 
 from __future__ import annotations

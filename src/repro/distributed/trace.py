@@ -9,7 +9,8 @@ a repeating comb pattern).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
 
 from repro.distributed.network import Network
 from repro.distributed.metrics import RunResult
@@ -19,7 +20,13 @@ _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 @dataclass
 class RoundRecord:
-    """Aggregate traffic of one round."""
+    """Aggregate traffic of one round.
+
+    ``messages``/``bits`` are per-round deltas; ``max_bits`` is the
+    *cumulative* peak message size up to and including this round (a
+    peak is a max, not a sum, so the per-round value cannot be
+    recovered by diffing the run counters).
+    """
 
     round: int
     messages: int
@@ -49,6 +56,19 @@ class Tracer:
         top = max(vals) or 1
         return "".join(_BLOCKS[round(v / top * (len(_BLOCKS) - 1))] for v in vals)
 
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-serializable rows (inverse of :meth:`from_dicts`).
+
+        One plain dict per round, so a trace can ride in the same JSONL
+        artifacts :class:`~repro.analysis.runner.ParallelRunner` writes.
+        """
+        return [asdict(r) for r in self.records]
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[dict[str, Any]]) -> "Tracer":
+        """Rebuild a tracer from :meth:`to_dicts` output."""
+        return cls(records=[RoundRecord(**row) for row in rows])
+
     def summary(self) -> dict[str, float]:
         """Totals and peaks across the traced run."""
         if not self.records:
@@ -66,11 +86,12 @@ def run_traced(net: Network, max_rounds: int = 1_000_000) -> tuple[RunResult, Tr
 
     Equivalent to ``net.run()`` but returns a :class:`Tracer` holding
     the per-round breakdown.  (Implemented by diffing the cumulative
-    counters between single-round steps.)
+    counters between single-round steps.)  Generator backend only: the
+    single-round stepping it relies on has no array-backend equivalent
+    (an array program owns its whole round loop).
     """
     tracer = Tracer()
     prev_msgs = prev_bits = 0
-    prev_max = 0
     while True:
         live_before = sum(1 for gen in net._gens if gen is not None)
         if live_before == 0:
@@ -95,12 +116,13 @@ def run_traced(net: Network, max_rounds: int = 1_000_000) -> tuple[RunResult, Tr
                     round=len(tracer.records),
                     messages=delta_msgs,
                     bits=res.total_bits - prev_bits,
-                    max_bits=max(res.max_message_bits, prev_max),
+                    # Cumulative counters are monotone, so the running
+                    # peak is just the current one.
+                    max_bits=res.max_message_bits,
                     live_nodes=live_before,
                 )
             )
         prev_msgs, prev_bits = res.total_messages, res.total_bits
-        prev_max = res.max_message_bits
         if finished:
             break
     for node in net.nodes:

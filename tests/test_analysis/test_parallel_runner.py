@@ -34,6 +34,35 @@ def _dump(results):
     return json.dumps([r.to_dict() for r in results], sort_keys=True)
 
 
+class TestCommonParams:
+    def test_common_merged_into_every_point_and_params(self):
+        res = ParallelRunner(workers=1).sweep(
+            measure_point, POINTS[:3], seeds=[1], common={"scale": 2.0}
+        )
+        assert all(cell.params == {"scale": 2.0, "n": p["n"]}
+                   for cell, p in zip(res, POINTS))
+        assert [cell.records[0]["v"] for cell in res] == [22.0, 42.0, 62.0]
+
+    def test_point_wins_over_common(self):
+        res = ParallelRunner(workers=1).sweep(
+            measure_point,
+            [{"n": 10, "scale": 3.0}],
+            seeds=[0],
+            common={"scale": 2.0},
+        )
+        assert res[0].params["scale"] == 3.0
+        assert res[0].records[0]["v"] == 30.0
+
+    def test_common_identical_across_worker_counts(self, parallel_workers):
+        one = ParallelRunner(workers=1).sweep(
+            measure_point, POINTS, seeds=[1, 2], common={"scale": 0.5}
+        )
+        many = ParallelRunner(workers=parallel_workers).sweep(
+            measure_point, POINTS, seeds=[1, 2], common={"scale": 0.5}
+        )
+        assert _dump(one) == _dump(many)
+
+
 class TestDeterminism:
     def test_sweep_1_vs_n_workers_byte_identical(self, parallel_workers):
         """The acceptance bar: >= 8 cells, identical records either way."""

@@ -54,6 +54,37 @@ class TestCrossAlgorithmInvariants:
         assert rec["ok"] == 1.0, rec
 
 
+class TestBackendRouting:
+    def test_array_backend_identical_records(self):
+        # generic_mcm has an array port; values must not depend on it.
+        gen = run_scenario_cell("comb", "generic_mcm", size=12, seed=1)
+        arr = run_scenario_cell(
+            "comb", "generic_mcm", size=12, seed=1, backend="array"
+        )
+        assert arr.pop("array_backend") == 1.0
+        assert gen.pop("array_backend") == 0.0
+        assert gen == arr
+
+    def test_unported_algo_falls_back_to_generator(self):
+        rec = run_scenario_cell(
+            "gnp", "weighted_mwm", size=12, seed=0, backend="array"
+        )
+        assert rec["array_backend"] == 0.0
+        assert rec["ok"] == 1.0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_scenario_cell("gnp", "generic_mcm", size=12, backend="nope")
+
+    def test_matrix_records_backend_in_params(self):
+        results = scenario_matrix(
+            scenarios=["comb"], algos=["generic_mcm"], size=12,
+            seeds=[0], workers=1, backend="array",
+        )
+        assert results[0].params["backend"] == "array"
+        assert results[0].records[0]["ok"] == 1.0
+
+
 class TestMatrix:
     def test_unknown_algo_rejected(self):
         with pytest.raises(ValueError, match="unknown algorithm"):

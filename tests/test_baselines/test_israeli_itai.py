@@ -65,6 +65,29 @@ class TestComplexity:
         assert res.max_message_bits <= 8  # single-char tags
 
 
+class TestArrayBackend:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_maximal_matching_on_random(self, seed):
+        g = gnp_random(60, 0.1, seed=seed)
+        m, _ = israeli_itai_matching(g, seed=seed, backend="array")
+        # Maximality: no edge with both endpoints free.
+        mated = {v for e in m.edges() for v in e}
+        for u, v in g.edges():
+            assert u in mated or v in mated, (u, v)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_backends_agree(self, seed):
+        g = gnp_random(45, 0.12, seed=100 + seed)
+        m_g, r_g = israeli_itai_matching(g, seed=seed)
+        m_a, r_a = israeli_itai_matching(g, seed=seed, backend="array")
+        assert sorted(m_g.edges()) == sorted(m_a.edges())
+        assert r_g == r_a
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            israeli_itai_matching(path_graph(3), backend="quantum")
+
+
 class TestMatchingFromMates:
     def test_asymmetric_rejected(self):
         g = path_graph(3)

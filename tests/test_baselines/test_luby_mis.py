@@ -43,6 +43,26 @@ class TestCorrectness:
         assert a == b
 
 
+class TestArrayBackend:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_mis_on_random(self, seed):
+        g = gnp_random(70, 0.08, seed=seed)
+        mis, _ = luby_mis(g, seed=seed, backend="array")
+        assert verify_mis(g, mis)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_backends_agree(self, seed):
+        g = gnp_random(50, 0.1, seed=200 + seed)
+        mis_g, res_g = luby_mis(g, seed=seed)
+        mis_a, res_a = luby_mis(g, seed=seed, backend="array")
+        assert mis_g == mis_a
+        assert res_g == res_a
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            luby_mis(cycle_graph(5), backend="quantum")
+
+
 class TestComplexity:
     def test_logarithmic_rounds(self):
         for n in (64, 128, 256, 512):

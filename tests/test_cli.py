@@ -53,6 +53,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PIM" in out and "iSLIP" in out
 
+    def test_generic_array_backend(self, capsys):
+        assert main(["generic", "--n", "18", "--k", "2",
+                     "--backend", "array"]) == 0
+        out = capsys.readouterr().out
+        assert "array backend" in out and "generic_mcm" in out
+
+    def test_generic_backends_agree(self, capsys):
+        assert main(["generic", "--n", "18", "--k", "2"]) == 0
+        gen_out = capsys.readouterr().out
+        assert main(["generic", "--n", "18", "--k", "2",
+                     "--backend", "array"]) == 0
+        arr_out = capsys.readouterr().out
+        # Identical ratio and distributed cost lines, only the banner differs.
+        assert gen_out.splitlines()[1:] == arr_out.splitlines()[1:]
+
+    def test_baselines_array_backend(self, capsys):
+        assert main(["baselines", "--n", "30", "--p", "0.1",
+                     "--backend", "array"]) == 0
+        assert "Israeli-Itai" in capsys.readouterr().out
+
+    def test_scenarios_array_backend(self, capsys):
+        assert main([
+            "scenarios", "--size", "12", "--repeats", "1",
+            "--family", "comb", "--algo", "generic_mcm",
+            "--backend", "array",
+        ]) == 0
+        assert "NO" not in capsys.readouterr().out
+
     def test_scenarios_subset(self, capsys):
         assert main([
             "scenarios", "--size", "12", "--repeats", "1",

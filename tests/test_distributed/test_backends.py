@@ -1,0 +1,248 @@
+"""Unit tests for the execution-backend layer (ISSUE 3).
+
+Backend *equivalence* on whole algorithms lives in
+``tests/test_backend_identity.py``; this module covers the protocol,
+the registry, the ArrayContext accounting/segment primitives, and the
+ArrayBackend's engine-contract edges (budget, CONGEST, idempotency).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.israeli_itai import israeli_itai_array, israeli_itai_program
+from repro.baselines.luby_mis import luby_mis_array, luby_mis_program
+from repro.distributed import (
+    BACKENDS,
+    ArrayBackend,
+    ArrayContext,
+    CongestViolation,
+    ExecutionBackend,
+    GeneratorBackend,
+    Network,
+    RunResult,
+    bit_size,
+    congest_with_bound,
+    int_payload_bits,
+    resolve_backend,
+    run_program,
+)
+from repro.distributed.models import LOCAL
+from repro.graphs import Graph, gnp_random, path_graph, star_graph
+
+
+def _ctx(g, seed=0, model=LOCAL, max_rounds=1_000_000):
+    return ArrayContext(
+        g, seed, model, model.limit(g.n, g.max_degree()), RunResult(), max_rounds
+    )
+
+
+class TestProtocolAndRegistry:
+    def test_generator_backend_is_network(self):
+        assert GeneratorBackend is Network
+
+    def test_both_backends_conform(self):
+        g = path_graph(3)
+        gen = Network(g, luby_mis_program, params={"n": g.n})
+        arr = ArrayBackend(g, luby_mis_array, params={"n": g.n})
+        assert isinstance(gen, ExecutionBackend)
+        assert isinstance(arr, ExecutionBackend)
+
+    def test_registry_contents(self):
+        assert BACKENDS == {"generator": Network, "array": ArrayBackend}
+
+    def test_resolve_known(self):
+        assert resolve_backend("generator") is Network
+        assert resolve_backend("array") is ArrayBackend
+
+    def test_resolve_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cuda")
+
+    def test_run_program_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_program(
+                path_graph(2),
+                backend="nope",
+                generator_program=luby_mis_program,
+                array_program=luby_mis_array,
+            )
+
+    def test_charge_rounds_on_both(self):
+        g = path_graph(2)
+        for net in (
+            Network(g, israeli_itai_program),
+            ArrayBackend(g, israeli_itai_array),
+        ):
+            net.charge_rounds(5)
+            assert net.result.charged_rounds == 5
+
+
+class TestIntPayloadBits:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 2, 3, 7, 8, 255, 256, -1, -17, 2**40, 2**62, -(2**62)]
+    )
+    def test_matches_bit_size(self, value):
+        assert int_payload_bits([value])[0] == bit_size(value)
+
+    def test_vectorized_batch(self):
+        rng = np.random.default_rng(0)
+        vals = rng.integers(-(2**62), 2**62, size=500)
+        expect = [bit_size(int(v)) for v in vals]
+        assert int_payload_bits(vals).tolist() == expect
+
+
+class TestArrayContextSegments:
+    def test_masked_degrees_brute_force(self):
+        g = gnp_random(40, 0.15, seed=3)
+        ctx = _ctx(g)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            mask = rng.random(g.n) < 0.5
+            expect = [
+                sum(mask[u] for u in g.neighbors(v)) for v in range(g.n)
+            ]
+            assert ctx.masked_degrees(mask).tolist() == expect
+
+    def test_neighbor_any_matches_degrees(self):
+        g = gnp_random(30, 0.2, seed=4)
+        ctx = _ctx(g)
+        mask = np.zeros(g.n, dtype=bool)
+        mask[[0, 7, 13]] = True
+        assert (
+            ctx.neighbor_any(mask) == (ctx.masked_degrees(mask) > 0)
+        ).all()
+
+    def test_neighbor_max_brute_force(self):
+        g = gnp_random(35, 0.2, seed=5)
+        ctx = _ctx(g)
+        rng = np.random.default_rng(2)
+        values = rng.integers(1, 1000, size=g.n)
+        mask = rng.random(g.n) < 0.6
+        got = ctx.neighbor_max(values, mask=mask)
+        for v in range(g.n):
+            vals = [values[u] for u in g.neighbors(v) if mask[u]]
+            assert got[v] == (max(vals) if vals else 0), v
+
+    def test_neighbor_max_unmasked_and_isolated(self):
+        # Vertex 3 is isolated; reduceat's empty-segment quirk must not
+        # leak the next segment's head into it.
+        g = Graph(5, [(0, 1), (1, 2), (2, 4)])
+        ctx = _ctx(g)
+        values = np.array([10, 20, 30, 99, 40], dtype=np.int64)
+        got = ctx.neighbor_max(values)
+        assert got.tolist() == [20, 30, 40, 0, 30]
+
+    def test_empty_graph_helpers(self):
+        ctx = _ctx(Graph(4))
+        mask = np.ones(4, dtype=bool)
+        assert ctx.masked_degrees(mask).tolist() == [0, 0, 0, 0]
+        assert ctx.neighbor_max(np.arange(4)).tolist() == [0, 0, 0, 0]
+
+
+class TestArrayContextAccounting:
+    def test_account_groups_totals(self):
+        ctx = _ctx(path_graph(4))
+        ctx.account_groups([5, 8], [2, 3])
+        res = ctx.result
+        assert res.total_messages == 5
+        assert res.total_bits == 5 * 2 + 8 * 3
+        assert res.max_message_bits == 8
+
+    def test_empty_groups_dropped(self):
+        # A send_many to zero recipients neither counts nor peaks.
+        ctx = _ctx(path_graph(4))
+        ctx.account_groups([999], [0])
+        assert ctx.result.total_messages == 0
+        assert ctx.result.max_message_bits == 0
+
+    def test_congest_violation(self):
+        g = path_graph(4)
+        model = congest_with_bound(6)
+        ctx = ArrayContext(g, 0, model, 6, RunResult(), 1_000_000)
+        with pytest.raises(CongestViolation, match="exceeds"):
+            ctx.account_groups([7], [1])
+
+    def test_round_counted_only_on_yield(self):
+        ctx = _ctx(path_graph(2))
+        ctx.end_step(False)
+        assert ctx.result.rounds == 0
+        ctx.end_step(True)
+        assert ctx.result.rounds == 1
+
+    def test_begin_step_budget(self):
+        ctx = _ctx(path_graph(2), max_rounds=0)
+        with pytest.raises(RuntimeError, match="still running"):
+            ctx.begin_step(2)
+        ctx.begin_step(0)  # no live nodes: drained, never raises
+
+    def test_rngs_match_network_spawn(self):
+        g = path_graph(3)
+        ctx = _ctx(g, seed=42)
+        net = Network(g, israeli_itai_program, seed=42)
+        for v in range(g.n):
+            assert (
+                ctx.rngs[v].integers(0, 2**32)
+                == net.nodes[v].rng.integers(0, 2**32)
+            )
+
+
+class TestArrayBackendContract:
+    def test_budget_error_parity(self):
+        g = gnp_random(20, 0.3, seed=1)
+        for backend in ("generator", "array"):
+            with pytest.raises(RuntimeError, match="still running"):
+                run_program(
+                    g,
+                    backend=backend,
+                    generator_program=luby_mis_program,
+                    array_program=luby_mis_array,
+                    params={"n": g.n},
+                    max_rounds=1,
+                )
+
+    def test_congest_violation_parity(self):
+        # Luby numbers on a 40-node star need ~22 bits; a 10-bit budget
+        # must trip both engines.
+        g = star_graph(40)
+        model = congest_with_bound(10)
+        for backend in ("generator", "array"):
+            with pytest.raises(CongestViolation):
+                run_program(
+                    g,
+                    backend=backend,
+                    generator_program=luby_mis_program,
+                    array_program=luby_mis_array,
+                    params={"n": g.n},
+                    model=model,
+                )
+
+    def test_run_idempotent(self):
+        g = gnp_random(15, 0.3, seed=2)
+        net = ArrayBackend(g, luby_mis_array, params={"n": g.n}, seed=3)
+        first = net.run()
+        again = net.run()
+        assert again is first
+        assert first.rounds > 0
+
+    def test_prepare_returns_self_and_preserves_results(self):
+        g = gnp_random(15, 0.3, seed=2)
+        plain = ArrayBackend(g, luby_mis_array, params={"n": g.n}, seed=3).run()
+        warmed = (
+            ArrayBackend(g, luby_mis_array, params={"n": g.n}, seed=3)
+            .prepare()
+            .run()
+        )
+        assert plain == warmed
+
+    def test_outputs_cover_all_nodes(self):
+        g = Graph(5, [(0, 1)])
+        res = ArrayBackend(g, israeli_itai_array, seed=0).run()
+        assert sorted(res.outputs) == [0, 1, 2, 3, 4]
+
+    def test_program_without_outputs_fills_none(self):
+        def silent(ctx):
+            return None
+
+        res = ArrayBackend(path_graph(3), silent).run()
+        assert res.outputs == {0: None, 1: None, 2: None}
+        assert res.rounds == 0

@@ -1,0 +1,83 @@
+"""Unit tests for RunResult accounting (repro.distributed.metrics)."""
+
+import pytest
+
+from repro.baselines.israeli_itai import israeli_itai_program
+from repro.distributed import Network, RunResult
+from repro.distributed.trace import run_traced
+from repro.graphs import gnp_random
+
+
+class TestRunResultBasics:
+    def test_defaults_are_zeroed(self):
+        res = RunResult()
+        assert (res.rounds, res.total_messages, res.total_bits) == (0, 0, 0)
+        assert res.max_message_bits == 0 and res.charged_rounds == 0
+        assert res.outputs == {}
+
+    def test_total_rounds_includes_charged(self):
+        res = RunResult(rounds=7, charged_rounds=5)
+        assert res.total_rounds == 12
+
+    def test_equality_covers_outputs(self):
+        a = RunResult(rounds=1, outputs={0: True})
+        b = RunResult(rounds=1, outputs={0: True})
+        c = RunResult(rounds=1, outputs={0: False})
+        assert a == b and a != c
+
+
+class TestMerge:
+    def test_sequential_composition(self):
+        a = RunResult(
+            rounds=3, total_messages=10, total_bits=100,
+            max_message_bits=16, charged_rounds=2, outputs={0: "a", 1: "a"},
+        )
+        b = RunResult(
+            rounds=4, total_messages=5, total_bits=30,
+            max_message_bits=8, charged_rounds=1, outputs={1: "b", 2: "b"},
+        )
+        m = a.merge(b)
+        assert m.rounds == 7
+        assert m.total_messages == 15
+        assert m.total_bits == 130
+        assert m.max_message_bits == 16  # max, not sum
+        assert m.charged_rounds == 3
+        assert m.outputs == {0: "a", 1: "b", 2: "b"}  # later run overwrites
+
+    def test_merge_with_empty_is_identity(self):
+        a = RunResult(rounds=2, total_messages=4, total_bits=9,
+                      max_message_bits=5, outputs={0: 1})
+        merged = a.merge(RunResult())
+        assert merged == a
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = RunResult(rounds=1, outputs={0: "x"})
+        b = RunResult(rounds=2, outputs={0: "y"})
+        a.merge(b)
+        assert a.rounds == 1 and a.outputs == {0: "x"}
+        assert b.rounds == 2
+
+    def test_merge_associative_on_counters(self):
+        rs = [
+            RunResult(rounds=i, total_messages=2 * i, total_bits=3 * i,
+                      max_message_bits=i, charged_rounds=i)
+            for i in (1, 4, 2)
+        ]
+        left = rs[0].merge(rs[1]).merge(rs[2])
+        right = rs[0].merge(rs[1].merge(rs[2]))
+        assert left == right
+
+
+class TestMetricsMatchTrace:
+    def test_totals_match_traced_per_round_records(self):
+        """Round-trip: a real run's RunResult equals its trace's totals."""
+        g = gnp_random(25, 0.2, seed=9)
+        res, tracer = run_traced(Network(g, israeli_itai_program, seed=9))
+        assert res.total_messages == sum(r.messages for r in tracer.records)
+        assert res.total_bits == sum(r.bits for r in tracer.records)
+        assert res.rounds == len(tracer.records)
+        assert res.max_message_bits == max(r.max_bits for r in tracer.records)
+        summary = tracer.summary()
+        assert summary["messages"] == res.total_messages
+        assert summary["bits"] == res.total_bits
+        assert summary["rounds"] == res.rounds

@@ -1,7 +1,13 @@
 """Unit tests for the LOCAL/CONGEST model definitions."""
 
+import pytest
+
 from repro.distributed import CONGEST, LOCAL
-from repro.distributed.models import congest_with_bound
+from repro.distributed.models import (
+    CongestViolation,
+    congest_log_degree,
+    congest_with_bound,
+)
 
 
 class TestModels:
@@ -25,3 +31,43 @@ class TestModels:
     def test_names(self):
         assert LOCAL.name == "LOCAL"
         assert CONGEST.name == "CONGEST"
+
+    def test_congest_ignores_degree_by_design(self):
+        # The classical CONGEST budget is a function of n alone.
+        assert CONGEST.limit(1000, 3) == CONGEST.limit(1000, 999)
+
+
+class TestCongestLogDegree:
+    """The degree-sensitive bound (Thm 3.8's O(log Δ) message regime)."""
+
+    def test_scales_with_log_degree_not_n(self):
+        m = congest_log_degree()
+        assert m.limit(10**6, 16) == m.limit(10, 16)  # n-independent
+        assert m.limit(100, 16**4) == 4 * m.limit(100, 16)
+
+    def test_tighter_than_congest_on_low_degree(self):
+        # On bounded-degree large networks, the log Δ budget certifies
+        # a strictly stronger claim than c·log n.
+        assert congest_log_degree().limit(10**6, 4) < CONGEST.limit(10**6, 4)
+
+    def test_degree_zero_and_one_clamped(self):
+        m = congest_log_degree(c=7)
+        assert m.limit(100, 0) == 7
+        assert m.limit(100, 1) == 7
+
+    def test_custom_constant_and_name(self):
+        m = congest_log_degree(c=5)
+        assert m.limit(1000, 256) == 5 * 8
+        assert "logΔ" in m.name
+
+    def test_enforced_by_engine(self):
+        from repro.distributed import Network
+        from repro.graphs import star_graph
+
+        def chatty(node):
+            node.broadcast("x" * 100)  # 800 bits >> 32*log2(Δ)
+            yield
+
+        g = star_graph(9)
+        with pytest.raises(CongestViolation):
+            Network(g, chatty, model=congest_log_degree()).run()

@@ -49,6 +49,28 @@ class TestRunTraced:
         assert res.rounds == 0
 
 
+class TestTracerRoundTrip:
+    def test_to_from_dicts_round_trips_recorded_trace(self):
+        g = gnp_random(20, 0.2, seed=4)
+        res, tracer = run_traced(Network(g, israeli_itai_program, seed=4))
+        rows = tracer.to_dicts()
+        assert all(isinstance(r, dict) for r in rows)
+        rebuilt = Tracer.from_dicts(rows)
+        assert rebuilt.records == tracer.records
+        assert rebuilt.summary() == tracer.summary()
+        assert rebuilt.summary()["messages"] == res.total_messages
+
+    def test_dicts_survive_json(self):
+        import json
+
+        t = Tracer(records=[RoundRecord(0, 3, 30, 10, 2), RoundRecord(1, 5, 50, 12, 1)])
+        rebuilt = Tracer.from_dicts(json.loads(json.dumps(t.to_dicts())))
+        assert rebuilt.records == t.records
+
+    def test_empty_round_trip(self):
+        assert Tracer.from_dicts(Tracer().to_dicts()).records == []
+
+
 class TestTracer:
     def test_sparkline_scales(self):
         t = Tracer(
