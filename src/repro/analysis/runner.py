@@ -12,6 +12,15 @@ Results can be streamed to a JSON-lines artifact as cells complete
 (:meth:`ParallelRunner.sweep` with ``artifact=``), and loaded back
 with :func:`load_artifact`.
 
+Seed batching (ISSUE 4): ``repeat``/``sweep`` accept ``seed_batch=k``,
+which dispatches **one task per chunk of k seeds** (instead of one per
+seed) to a *batch-aware* experiment function receiving the whole seed
+list.  That is the seam through which seed-axis batched execution
+(:class:`repro.distributed.backends.BatchedArrayBackend`) reaches the
+harness: a batch-aware fn can run its chunk as one vectorized
+execution, and a correct one returns records byte-identical to the
+per-seed mode.
+
 The module-level :func:`repeat` / :func:`sweep` are thin sequential
 wrappers kept for compatibility with the existing benchmarks; they
 accept lambdas/closures (nothing is pickled on the 1-worker path).
@@ -90,16 +99,46 @@ def cell_seeds(root_seed: int, n_cells: int, seeds_per_cell: int) -> list[list[i
     ]
 
 
+def _chunked(seq: Sequence, size: int) -> list[list]:
+    """Split ``seq`` into consecutive chunks of at most ``size``."""
+    if size < 1:
+        raise ValueError(f"seed_batch must be >= 1, got {size}")
+    return [list(seq[i: i + size]) for i in range(0, len(seq), size)]
+
+
+def _check_batch(recs, seeds) -> list[dict[str, float]]:
+    """Validate a batch-aware fn's return: one record per seed."""
+    recs = list(recs)
+    if len(recs) != len(seeds):
+        raise ValueError(
+            f"batched experiment fn returned {len(recs)} record(s) "
+            f"for {len(seeds)} seed(s)"
+        )
+    return recs
+
+
 def _run_repeat_cell(job: tuple) -> list[dict[str, float]]:
     """Worker: ``fn(seed)`` for each seed of one repeat cell."""
     fn, seeds = job
     return [fn(s) for s in seeds]
 
 
+def _run_repeat_batch(job: tuple) -> list[dict[str, float]]:
+    """Worker: one batch-aware ``fn(seeds)`` call for a whole seed chunk."""
+    fn, seeds = job
+    return _check_batch(fn(list(seeds)), seeds)
+
+
 def _run_sweep_cell(job: tuple) -> list[dict[str, float]]:
     """Worker: ``fn(seed=s, **point)`` for each seed of one sweep cell."""
     fn, point, seeds = job
     return [fn(seed=s, **point) for s in seeds]
+
+
+def _run_sweep_chunk(job: tuple) -> list[dict[str, float]]:
+    """Worker: one batch-aware ``fn(seeds=chunk, **point)`` call."""
+    fn, point, chunk = job
+    return _check_batch(fn(seeds=list(chunk), **point), chunk)
 
 
 class ParallelRunner:
@@ -135,16 +174,33 @@ class ParallelRunner:
 
     def repeat(
         self,
-        fn: Callable[[int], dict[str, float]],
+        fn: Callable[..., Any],
         seeds: Iterable[int],
         params: dict[str, Any] | None = None,
+        seed_batch: int | None = None,
     ) -> ExperimentResult:
-        """Run ``fn(seed)`` per seed, seeds split across workers."""
+        """Run ``fn`` over seeds, split across workers.
+
+        Without ``seed_batch`` (the classic mode), ``fn(seed)`` is one
+        per-seed task.  With ``seed_batch=k``, seeds are chunked into
+        groups of ``k`` and ``fn`` must be **batch-aware** —
+        ``fn(seeds) -> list of records`` (one per seed, in order) — so
+        each chunk is *one* process-level task and ``fn`` may execute
+        the whole chunk as a single batched run (e.g.
+        :func:`repro.baselines.luby_mis.luby_mis_batched`).  Records
+        are identical to the per-seed mode for a correct batched fn;
+        only the wall clock changes.
+        """
         seeds = list(seeds)
-        jobs = [(fn, [s]) for s in seeds]
         res = ExperimentResult(params or {})
-        for recs in self._map(_run_repeat_cell, jobs):
-            res.records.extend(recs)
+        if seed_batch is None:
+            jobs = [(fn, [s]) for s in seeds]
+            for recs in self._map(_run_repeat_cell, jobs):
+                res.records.extend(recs)
+        else:
+            jobs = [(fn, chunk) for chunk in _chunked(seeds, seed_batch)]
+            for recs in self._map(_run_repeat_batch, jobs):
+                res.records.extend(recs)
         return res
 
     def sweep(
@@ -156,6 +212,7 @@ class ParallelRunner:
         seeds_per_cell: int = 3,
         artifact: str | os.PathLike | None = None,
         common: dict[str, Any] | None = None,
+        seed_batch: int | None = None,
     ) -> list[ExperimentResult]:
         """Full sweep: each parameter point is one cell, fanned out.
 
@@ -170,6 +227,16 @@ class ParallelRunner:
         like the execution ``backend`` ride through the fan-out and land
         in every cell's recorded ``params``.
 
+        With ``seed_batch=k``, ``fn`` must be **batch-aware**: each
+        cell's seeds are split into consecutive chunks of at most ``k``
+        and every chunk is dispatched as its *own* process-level task
+        calling ``fn(seeds=chunk, **point)`` once, returning one record
+        per seed in order.  This hands the fn whole seed groups so it
+        can execute them as a single batched run (seed-axis batching,
+        ISSUE 4), while a many-seed cell still spreads its chunks
+        across workers; a correct batched fn produces records identical
+        to the per-seed mode.
+
         When ``artifact`` names a path, one JSON line per cell is
         streamed to it as cells complete (in submission order), so a
         long sweep is inspectable — and recoverable — mid-flight.
@@ -179,11 +246,26 @@ class ParallelRunner:
             seed_lists = [list(seeds)] * len(points)
         else:
             seed_lists = cell_seeds(root_seed, len(points), seeds_per_cell)
-        jobs = [(fn, p, s) for p, s in zip(points, seed_lists)]
+        if seed_batch is None:
+            worker = _run_sweep_cell
+            jobs = [(fn, p, s) for p, s in zip(points, seed_lists)]
+            jobs_per_cell = [1] * len(points)
+        else:
+            worker = _run_sweep_chunk
+            jobs = []
+            jobs_per_cell = []
+            for p, s in zip(points, seed_lists):
+                chunks = _chunked(s, seed_batch)
+                jobs_per_cell.append(len(chunks))
+                jobs.extend((fn, p, chunk) for chunk in chunks)
         out: list[ExperimentResult] = []
         sink = open(artifact, "w") if artifact is not None else None
         try:
-            for point, recs in zip(points, self._map(_run_sweep_cell, jobs)):
+            results = self._map(worker, jobs)
+            for point, n_jobs in zip(points, jobs_per_cell):
+                recs: list[dict[str, float]] = []
+                for _ in range(n_jobs):  # chunk results in submission order
+                    recs.extend(next(results))
                 cell = ExperimentResult(point, recs)
                 out.append(cell)
                 if sink is not None:

@@ -200,6 +200,32 @@ def run_scenario_cell(
     }
 
 
+def run_scenario_cell_batch(
+    seeds: Sequence[int],
+    scenario: str,
+    algo: str,
+    size: int = 20,
+    backend: str = "generator",
+) -> list[dict[str, float]]:
+    """Batch-aware matrix cell: one call covers a whole seed chunk.
+
+    The batch-aware twin of :func:`run_scenario_cell` for
+    ``ParallelRunner``'s ``seed_batch`` mode — one process-level task
+    per chunk instead of one fn call per seed.  Scenario cells build a
+    *different graph per seed* (the seed drives the generator), so the
+    seeds cannot share one seed-axis batched execution the way
+    fixed-graph workloads can (see
+    :func:`repro.baselines.luby_mis.luby_mis_batched` and
+    ``examples/batched_sweep.py``); within a chunk the cells run
+    sequentially, and the records are identical to the per-seed mode
+    by construction.
+    """
+    return [
+        run_scenario_cell(scenario, algo, size=size, seed=int(s), backend=backend)
+        for s in seeds
+    ]
+
+
 def scenario_matrix(
     scenarios: Iterable[str] | None = None,
     algos: Iterable[str] | None = None,
@@ -208,6 +234,7 @@ def scenario_matrix(
     workers: int = 1,
     artifact: str | None = None,
     backend: str = "generator",
+    seed_batch: int | None = None,
 ) -> list[ExperimentResult]:
     """Run the full scenario × algorithm matrix via :class:`ParallelRunner`.
 
@@ -215,7 +242,10 @@ def scenario_matrix(
     ``seeds=None`` the cells draw independent ``SeedSequence``-spawned
     seeds, so the matrix is deterministic for any worker count.  The
     execution ``backend`` rides through the runner's ``common``
-    parameters into every cell (and its recorded params).
+    parameters into every cell (and its recorded params).  With
+    ``seed_batch=k`` the runner hands each cell's seeds to
+    :func:`run_scenario_cell_batch` in chunks of ``k`` (one task per
+    chunk); records are identical either way.
     """
     scenarios = list(SCENARIOS) if scenarios is None else list(scenarios)
     algos = list(ALGORITHMS) if algos is None else list(algos)
@@ -224,11 +254,12 @@ def scenario_matrix(
     ]
     runner = ParallelRunner(workers=workers)
     return runner.sweep(
-        run_scenario_cell,
+        run_scenario_cell if seed_batch is None else run_scenario_cell_batch,
         points,
         seeds=list(seeds) if seeds is not None else None,
         artifact=artifact,
         common={"backend": backend},
+        seed_batch=seed_batch,
     )
 
 

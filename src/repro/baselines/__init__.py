@@ -13,9 +13,14 @@ history of distributed matching"):
 * PIM [3] and iSLIP [23] — the switch schedulers descended from [15].
 """
 
-from repro.baselines.israeli_itai import israeli_itai_matching, israeli_itai_program
-from repro.baselines.luby_mis import luby_mis, luby_mis_program
+from repro.baselines.israeli_itai import (
+    israeli_itai_matching,
+    israeli_itai_matching_batched,
+    israeli_itai_program,
+)
+from repro.baselines.luby_mis import luby_mis, luby_mis_batched, luby_mis_program
 from repro.baselines.lps_mwm import lps_mwm
+from repro.baselines.lps_interleaved import lps_interleaved_mwm
 from repro.baselines.hoepman import hoepman_mwm, hoepman_program
 from repro.baselines.pim import pim_matching
 from repro.baselines.islip import IslipScheduler
@@ -28,10 +33,13 @@ __all__ = [
     "ring_coloring",
     "ring_maximal_matching",
     "israeli_itai_matching",
+    "israeli_itai_matching_batched",
     "israeli_itai_program",
     "luby_mis",
+    "luby_mis_batched",
     "luby_mis_program",
     "lps_mwm",
+    "lps_interleaved_mwm",
     "hoepman_mwm",
     "hoepman_program",
     "pim_matching",

@@ -26,12 +26,24 @@ Pipeline:
    propose along their oriented edge; the (unique-color) endpoint
    accepts if still free.  Constantly many color rounds ⟹ the whole
    pipeline is deterministic O(log* n + C²) rounds.
+
+Two executable forms (ISSUE 4): :func:`ring_color_program` /
+:func:`ring_matching_program` are the generator specs,
+:func:`ring_color_array` / :func:`ring_matching_array` the vectorized
+array twins; ``ring_coloring(..., backend=...)`` and
+``ring_maximal_matching(..., backend=...)`` pick, and both produce
+byte-identical ``RunResult``s.  Being deterministic, these are the
+simplest array ports in the tree — no RNG replay at all (see the
+porting guide in ARCHITECTURE.md).
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
+import numpy as np
+
+from repro.distributed.backends import ArrayContext, int_payload_bits, run_program
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -94,20 +106,103 @@ def ring_color_program(
     return color
 
 
-def ring_coloring(g: Graph, max_rounds: int = 10_000) -> tuple[dict[int, int], RunResult]:
-    """Deterministic 3-coloring of the canonical ring 0-1-…-(n-1)-0."""
+def _lsb_index(x: np.ndarray) -> np.ndarray:
+    """Index of the lowest set bit of each positive ``int64``."""
+    lsb = x & -x
+    idx = np.zeros(x.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = lsb >= (np.int64(1) << np.int64(shift))
+        idx[big] += shift
+        lsb[big] >>= shift
+    return idx
+
+
+def _ring_color_phases(ctx: ArrayContext, n: int, steps: int) -> np.ndarray:
+    """The CV + palette resumes shared by both ring array programs.
+
+    Runs ``steps + 3`` yielding resumes (``steps`` CV recolorings, then
+    the palette passes c = 3, 4, 5) and returns the final 3-coloring.
+    The caller owns whatever resume *follows* — a bare returning resume
+    for :func:`ring_color_array`, the first proposal resume for
+    :func:`ring_matching_array` — matching the generator programs,
+    where the last palette read shares its resume with what comes next.
+    """
+    size = ctx.n
+    ids = np.arange(size, dtype=np.int64)
+    succ = np.roll(ids, -1)  # succ[v] = (v + 1) % n
+    pred = np.roll(ids, 1)
+    color = ids.copy()
+    ones = np.ones(size, dtype=np.int64)
+    # Phase 1: CV reduction against the predecessor's color.  Iteration
+    # k's send is accounted in resume k; its read + recoloring happen
+    # at the top of resume k+1, i.e. before the next send — exactly the
+    # state the next account sees.
+    for _ in range(steps):
+        ctx.begin_step(size)
+        ctx.account_groups(int_payload_bits(color), ones)
+        ctx.end_step(True)
+        pred_color = color[pred]
+        if (color == pred_color).any():
+            raise ValueError("proper coloring violated")
+        diff = color ^ pred_color
+        i = _lsb_index(diff)
+        color = 2 * i + ((color >> i) & 1)
+    # Phase 2: shrink palette {0..5} -> {0,1,2}; colors 3,4,5 in turn.
+    # Each pass sends the current color both ways (two singleton groups
+    # per node, sized once each, as the generator queues them).
+    for c in (3, 4, 5):
+        ctx.begin_step(size)
+        ctx.account_groups(
+            np.repeat(int_payload_bits(color), 2),
+            np.ones(2 * size, dtype=np.int64),
+        )
+        ctx.end_step(True)
+        nbr1, nbr2 = color[succ], color[pred]
+        smallest_free = np.where(
+            (nbr1 != 0) & (nbr2 != 0),
+            0,
+            np.where((nbr1 != 1) & (nbr2 != 1), 1, 2),
+        )
+        color = np.where(color == c, smallest_free, color)
+    return color
+
+
+def ring_color_array(ctx: ArrayContext, n: int, steps: int) -> list[int]:
+    """Array program twin of :func:`ring_color_program`.
+
+    Entirely deterministic — no RNG replay at all — so the whole
+    pipeline is a handful of ``np.roll`` gathers and bit tricks per
+    resume.  The final resume performs the last palette read and
+    returns without yielding, costing zero rounds, as the generator
+    program does.
+    """
+    color = _ring_color_phases(ctx, n, steps)
+    ctx.begin_step(ctx.n)  # final resume: every program returns
+    return color.tolist()
+
+
+def ring_coloring(
+    g: Graph, max_rounds: int = 10_000, backend: str = "generator"
+) -> tuple[dict[int, int], RunResult]:
+    """Deterministic 3-coloring of the canonical ring 0-1-…-(n-1)-0.
+
+    ``backend`` selects the execution engine (``"generator"`` or
+    ``"array"``); both yield byte-identical results.
+    """
     n = g.n
     if n < 3:
         raise ValueError("ring needs n >= 3")
     for v in range(n):
         if sorted(g.neighbors(v)) != sorted({(v - 1) % n, (v + 1) % n}):
             raise ValueError("graph is not the canonical ring")
-    net = Network(
+    res = run_program(
         g,
-        ring_color_program,
+        backend=backend,
+        generator_program=ring_color_program,
+        array_program=ring_color_array,
         params={"n": n, "steps": cv_steps_needed(n)},
+        max_rounds=max_rounds,
     )
-    res = net.run(max_rounds=max_rounds)
     return dict(res.outputs), res
 
 
@@ -145,17 +240,64 @@ def ring_matching_program(
     return mate
 
 
+def ring_matching_array(ctx: ArrayContext, n: int, steps: int) -> list[int]:
+    """Array program twin of :func:`ring_matching_program`.
+
+    After the shared coloring resumes, each color pass c ∈ {0, 1, 2} is
+    three vectorized resumes: free c-colored nodes propose to their
+    successor (8-bit tag), free successors accept toward their
+    predecessor, and proposers read the acknowledgement.  Adjacent
+    nodes never share a color, so a node cannot both propose and
+    accept in one pass — the masks below rely on that invariant.
+    """
+    size = ctx.n
+    ids = np.arange(size, dtype=np.int64)
+    succ = np.roll(ids, -1)
+    pred = np.roll(ids, 1)
+    color = _ring_color_phases(ctx, n, steps)
+    mate = np.full(size, -1, dtype=np.int64)
+    eight = np.int64(8)
+    for c in (0, 1, 2):
+        # Resume A (shares the first pass's resume with the last palette
+        # read): free nodes of color c propose to their successor.
+        ctx.begin_step(size)
+        prop = (mate == -1) & (color == c)
+        k = int(prop.sum())
+        ctx.account_groups(np.full(k, eight), np.ones(k, dtype=np.int64))
+        ctx.end_step(True)
+        # Resume B: a free node whose predecessor proposed accepts it.
+        ctx.begin_step(size)
+        acc = (mate == -1) & prop[pred]
+        mate = np.where(acc, pred, mate)
+        k = int(acc.sum())
+        ctx.account_groups(np.full(k, eight), np.ones(k, dtype=np.int64))
+        ctx.end_step(True)
+        # Resume C: proposers learn acceptance; no messages are sent
+        # (the pass stays a fixed 3 rounds for lockstep clarity).
+        ctx.begin_step(size)
+        mate = np.where(prop & acc[succ], succ, mate)
+        ctx.end_step(True)
+    ctx.begin_step(size)  # final resume: every program returns
+    return mate.tolist()
+
+
 def ring_maximal_matching(
-    g: Graph, max_rounds: int = 10_000
+    g: Graph, max_rounds: int = 10_000, backend: str = "generator"
 ) -> tuple[Matching, RunResult]:
-    """Deterministic maximal matching on the canonical ring, O(log* n)."""
+    """Deterministic maximal matching on the canonical ring, O(log* n).
+
+    ``backend`` selects the execution engine (``"generator"`` or
+    ``"array"``); both yield byte-identical results.
+    """
     n = g.n
     if n < 3:
         raise ValueError("ring needs n >= 3")
-    net = Network(
+    res = run_program(
         g,
-        ring_matching_program,
+        backend=backend,
+        generator_program=ring_matching_program,
+        array_program=ring_matching_array,
         params={"n": n, "steps": cv_steps_needed(n)},
+        max_rounds=max_rounds,
     )
-    res = net.run(max_rounds=max_rounds)
     return matching_from_mates(g, res.outputs), res

@@ -26,11 +26,17 @@ produce byte-identical ``RunResult``s from the same seed.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Sequence
 
 import numpy as np
 
-from repro.distributed.backends import ArrayContext, run_program
+from repro.distributed.backends import (
+    ArrayContext,
+    BatchedArrayContext,
+    run_program,
+    run_program_batched,
+    segment_bounds,
+)
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -134,10 +140,7 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
             order = np.argsort(targets, kind="stable")  # per-target, src asc.
             sorted_targets = targets[order]
             sorted_srcs = proposer_ids[order]
-            bounds = np.flatnonzero(
-                np.concatenate(([True], sorted_targets[1:] != sorted_targets[:-1]))
-            )
-            bounds = np.append(bounds, sorted_targets.size)
+            bounds = segment_bounds(sorted_targets)
             for k in range(bounds.size - 1):
                 dst = int(sorted_targets[bounds[k]])
                 if proposer[dst]:
@@ -162,6 +165,137 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
         )
         ctx.end_step(True)
     return outputs
+
+
+def israeli_itai_array_batched(ctx: BatchedArrayContext) -> list[list[int]]:
+    """Seed-axis batched twin of :func:`israeli_itai_array`.
+
+    The same three-resume phase over ``(num_seeds, n)`` SoA state, with
+    all coin flips of a resume drawn as one bulk ``ctx.lanes`` call and
+    the two ``choice`` replays (proposal targets, accepted proposals)
+    drawn as one bulk bounded draw each — ``choice(seq)`` consumes
+    exactly ``integers(0, len(seq))``, so only the *selection* of the
+    chosen neighbor from each lane's candidate list stays a per-lane
+    loop.  Seeds terminate independently (masked rows), and every
+    seed's ``RunResult`` is byte-identical to its single-seed run.
+    """
+    g = ctx.graph
+    num_seeds, size = ctx.num_seeds, ctx.n
+    outputs: list[list[int | None]] = [[None] * size for _ in range(num_seeds)]
+    mate = np.full((num_seeds, size), -1, dtype=np.int64)
+    alive = np.ones((num_seeds, size), dtype=bool)
+    degrees = g.degrees()
+    snbrs = [g.sorted_neighbors(v) for v in range(size)]
+    lanes = ctx.lanes
+    eight = np.int64(8)
+    while alive.any():
+        # Resume A: matched nodes and nodes with no unmatched neighbor
+        # return; the rest flip proposer coins and send invitations.
+        ctx.begin_step(alive.sum(axis=1))
+        unmatched = mate == -1
+        residual_deg = ctx.masked_degrees(unmatched)
+        for s, v in zip(*np.nonzero(alive & ~unmatched)):
+            outputs[s][v] = int(mate[s, v])
+        for s, v in zip(*np.nonzero(alive & unmatched & (residual_deg == 0))):
+            outputs[s][v] = -1
+        alive &= unmatched & (residual_deg > 0)
+        in_phase = alive.any(axis=1)
+        lrows, lcols = np.nonzero(alive)  # row-major: per-seed node order
+        if lrows.size == 0:
+            break  # every seed returned without yielding: no rounds
+        coins = lanes.integers(0, 2, lrows * size + lcols)
+        picked = coins == 1
+        prows, pcols = lrows[picked], lcols[picked]
+        # Each proposer replays choice(cands): one bounded draw, then
+        # the idx-th entry of its sorted unmatched-neighbor list.
+        idx = lanes.integers(
+            0, residual_deg[prows, pcols], prows * size + pcols
+        )
+        proposer = np.zeros((num_seeds, size), dtype=bool)
+        proposer[prows, pcols] = True
+        tgt = np.empty(prows.size, dtype=np.int64)
+        for k in range(prows.size):
+            s, v = int(prows[k]), int(pcols[k])
+            cand = snbrs[v][unmatched[s, snbrs[v]]]
+            tgt[k] = cand[idx[k]]
+        ctx.account_groups(
+            np.full(prows.size, eight), np.ones(prows.size, np.int64), prows
+        )
+        ctx.end_step(in_phase)
+        # Resume B: each acceptor (non-proposer) picks one incoming
+        # proposal uniformly at random and replies.
+        ctx.begin_step(alive.sum(axis=1))
+        accepted_by = np.full((num_seeds, size), -1, dtype=np.int64)
+        key = prows * size + tgt  # flat (seed, target) lane of each proposal
+        order = np.argsort(key, kind="stable")  # per-target, src ascending
+        sorted_key = key[order]
+        sorted_src = pcols[order]
+        flat_proposer = proposer.reshape(-1)
+        acc_lane: list[int] = []
+        acc_off: list[int] = []
+        acc_count: list[int] = []
+        bounds = segment_bounds(sorted_key)
+        for k in range(bounds.size - 1):
+            b0 = int(bounds[k])
+            lane = int(sorted_key[b0])
+            if flat_proposer[lane]:
+                continue  # proposers ignore incoming proposals
+            acc_lane.append(lane)
+            acc_off.append(b0)
+            acc_count.append(int(bounds[k + 1]) - b0)
+        acc_lanes = np.asarray(acc_lane, dtype=np.int64)
+        if acc_lanes.size:
+            aidx = lanes.integers(
+                0, np.asarray(acc_count, dtype=np.int64), acc_lanes
+            )
+            flat_accepted = accepted_by.reshape(-1)
+            for k in range(acc_lanes.size):
+                flat_accepted[acc_lanes[k]] = sorted_src[acc_off[k] + aidx[k]]
+        ctx.account_groups(
+            np.full(acc_lanes.size, eight),
+            np.ones(acc_lanes.size, np.int64),
+            acc_lanes // size,
+        )
+        ctx.end_step(in_phase)
+        # Resume C: proposers learn acceptance; every freshly matched
+        # node broadcasts _MATCHED to its *full* neighborhood.
+        ctx.begin_step(alive.sum(axis=1))
+        succeeded = accepted_by[prows, tgt] == pcols
+        mate[prows[succeeded], pcols[succeeded]] = tgt[succeeded]
+        arows, acols = np.nonzero(accepted_by != -1)
+        mate[arows, acols] = accepted_by[arows, acols]
+        m_rows = np.concatenate((prows[succeeded], arows))
+        m_cols = np.concatenate((pcols[succeeded], acols))
+        ctx.account_groups(
+            np.full(m_rows.size, eight), degrees[m_cols], m_rows
+        )
+        ctx.end_step(in_phase)
+    return outputs
+
+
+def israeli_itai_matching_batched(
+    g: Graph,
+    seeds: "Sequence[int]",
+    max_rounds: int = 100_000,
+    backend: str = "array",
+) -> list[tuple[Matching, RunResult]]:
+    """Run Israeli–Itai once per seed as a single batched execution.
+
+    ``backend="array"`` (default) executes the whole batch as one
+    :class:`~repro.distributed.backends.BatchedArrayBackend` run;
+    ``"generator"`` falls back to one ``Network`` per seed.  Both
+    return per-seed ``(Matching, RunResult)`` pairs identical to
+    ``[israeli_itai_matching(g, seed=s) for s in seeds]``.
+    """
+    results = run_program_batched(
+        g,
+        backend=backend,
+        generator_program=israeli_itai_program,
+        batched_array_program=israeli_itai_array_batched,
+        seeds=seeds,
+        max_rounds=max_rounds,
+    )
+    return [(matching_from_mates(g, res.outputs), res) for res in results]
 
 
 def israeli_itai_matching(

@@ -24,11 +24,17 @@ generator spec, :func:`luby_mis_array` the vectorized array program;
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Sequence
 
 import numpy as np
 
-from repro.distributed.backends import ArrayContext, int_payload_bits, run_program
+from repro.distributed.backends import (
+    ArrayContext,
+    BatchedArrayContext,
+    int_payload_bits,
+    run_program,
+    run_program_batched,
+)
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -144,6 +150,101 @@ def luby_mis_array(ctx: ArrayContext, n: int) -> list[bool]:
         alive[winner_ids] = False
         alive[loser_ids] = False
     return outputs
+
+
+def luby_mis_array_batched(ctx: BatchedArrayContext, n: int) -> list[list[bool]]:
+    """Seed-axis batched twin of :func:`luby_mis_array`.
+
+    The same resume structure over ``(num_seeds, n)`` SoA state: every
+    seed of the batch advances through its own phases simultaneously,
+    with a row of the ``alive`` mask per seed.  Seeds terminate
+    independently — a finished seed's row is all-False, so it
+    contributes no rounds, groups, or draws while stragglers run.  The
+    random numbers come from ``ctx.lanes``, whose per-(seed, node)
+    streams replicate the single-seed ``ctx.rngs`` draws bit for bit,
+    but batch a whole resume's draws into a few array ops.
+    """
+    num_seeds, size = ctx.num_seeds, ctx.n
+    outputs: list[list[bool | None]] = [[None] * size for _ in range(num_seeds)]
+    alive = np.ones((num_seeds, size), dtype=bool)
+    hi = max(2, n) ** 4
+    lanes = ctx.lanes
+    eight = np.int64(8)
+    while alive.any():
+        # Resume A: isolated-in-the-residual nodes join and return; the
+        # rest draw numbers and send them to their live neighbors.
+        ctx.begin_step(alive.sum(axis=1))
+        live_deg = ctx.masked_degrees(alive)
+        isolated = alive & (live_deg == 0)
+        for s, v in zip(*np.nonzero(isolated)):
+            outputs[s][v] = True
+        senders = alive & (live_deg > 0)
+        in_phase = senders.any(axis=1)  # seeds with a live, non-isolated node
+        srows, scols = np.nonzero(senders)  # row-major: per-seed node order
+        numbers = lanes.integers(1, hi + 1, srows * size + scols)
+        sender_deg = live_deg[srows, scols]
+        ctx.account_groups(int_payload_bits(numbers), sender_deg, srows)
+        ctx.end_step(in_phase)
+        # Resume B: a node wins iff its number beats every live
+        # neighbor's; winners announce membership (8-bit tag).
+        ctx.begin_step(senders.sum(axis=1))
+        scattered = np.zeros((num_seeds, size), dtype=np.int64)
+        scattered[srows, scols] = numbers
+        winner = np.zeros((num_seeds, size), dtype=bool)
+        winner[srows, scols] = (
+            numbers > ctx.neighbor_max(scattered, mask=senders)[srows, scols]
+        )
+        wrows, wcols = np.nonzero(winner)
+        ctx.account_groups(
+            np.full(wrows.size, eight), live_deg[wrows, wcols], wrows
+        )
+        ctx.end_step(in_phase)
+        # Resume C: winners return; their neighbors withdraw (8-bit
+        # ``_OUT`` to the whole phase-start active set) and return.
+        ctx.begin_step(senders.sum(axis=1))
+        beaten = ctx.neighbor_any(winner)
+        loser = senders & ~winner & beaten
+        lrows, lcols = np.nonzero(loser)
+        ctx.account_groups(
+            np.full(lrows.size, eight), live_deg[lrows, lcols], lrows
+        )
+        survivors = senders & ~winner & ~beaten
+        ctx.end_step(survivors.any(axis=1))
+        for s, v in zip(wrows.tolist(), wcols.tolist()):
+            outputs[s][v] = True
+        for s, v in zip(lrows.tolist(), lcols.tolist()):
+            outputs[s][v] = False
+        alive = survivors
+    return outputs
+
+
+def luby_mis_batched(
+    g: Graph,
+    seeds: "Sequence[int]",
+    max_rounds: int = 100_000,
+    backend: str = "array",
+) -> list[tuple[set[int], RunResult]]:
+    """Run Luby's MIS once per seed as a single batched execution.
+
+    ``backend="array"`` (default) executes the whole batch as one
+    :class:`~repro.distributed.backends.BatchedArrayBackend` run;
+    ``"generator"`` falls back to one ``Network`` per seed.  Both
+    return per-seed ``(MIS, RunResult)`` pairs identical to
+    ``[luby_mis(g, seed=s) for s in seeds]``.
+    """
+    results = run_program_batched(
+        g,
+        backend=backend,
+        generator_program=luby_mis_program,
+        batched_array_program=luby_mis_array_batched,
+        params={"n": g.n},
+        seeds=seeds,
+        max_rounds=max_rounds,
+    )
+    return [
+        ({v for v, joined in res.outputs.items() if joined}, res)
+        for res in results
+    ]
 
 
 def luby_mis(

@@ -15,7 +15,9 @@ Every command prints the matching size/weight, the exact optimum, the
 achieved ratio, and the measured distributed cost.  ``generic``,
 ``baselines``, and ``scenarios`` accept ``--backend {generator,array}``
 to pick the execution engine (results are seed-identical either way;
-only the wall clock changes).
+only the wall clock changes), and ``scenarios`` additionally accepts
+``--seed-batch K`` to dispatch each cell's seeds in chunks of K — one
+process-level task per chunk instead of one call per seed.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.analysis import format_table
 from repro.baselines import (
     hoepman_mwm,
     israeli_itai_matching,
+    lps_interleaved_mwm,
     lps_mwm,
 )
 from repro.core import bipartite_mcm, general_mcm, generic_mcm, weighted_mwm
@@ -103,6 +106,9 @@ def cmd_baselines(args) -> int:
     lm, res = lps_mwm(gw, seed=args.seed)
     rows.append(["LPS-style (1/4-MWM)", round(lm.weight(), 1), round(wopt, 1),
                  lm.weight() / wopt, res.rounds])
+    li, res = lps_interleaved_mwm(gw, seed=args.seed, backend=args.backend)
+    rows.append(["LPS interleaved", round(li.weight(), 1), round(wopt, 1),
+                 li.weight() / wopt, res.rounds])
     hm, res = hoepman_mwm(gw)
     rows.append(["Hoepman (1/2-MWM)", round(hm.weight(), 1), round(wopt, 1),
                  hm.weight() / wopt, res.rounds])
@@ -161,6 +167,10 @@ def cmd_scenarios(args) -> int:
     if args.size < 8:
         print(f"error: --size must be >= 8, got {args.size}", file=sys.stderr)
         return 1
+    if args.seed_batch is not None and args.seed_batch < 1:
+        print(f"error: --seed-batch must be >= 1, got {args.seed_batch}",
+              file=sys.stderr)
+        return 1
     scenarios = args.family or None
     algos = args.algo or None
     for name in scenarios or ():
@@ -182,6 +192,7 @@ def cmd_scenarios(args) -> int:
             workers=args.workers,
             artifact=args.out,
             backend=args.backend,
+            seed_batch=args.seed_batch,
         )
     except OSError as e:
         if args.out is None:
@@ -305,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restrict to an algorithm (repeatable)")
     sp.add_argument("--out", default=None, help="stream JSONL records here")
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--seed-batch", type=int, default=None, metavar="K",
+        help="dispatch each cell's seeds in chunks of K (one task per "
+             "chunk instead of one call per seed); records are identical",
+    )
     backend_opt(sp)
     sp.set_defaults(fn=cmd_scenarios)
 

@@ -14,8 +14,9 @@ Node algorithms are Python generators: ``yield`` ends the round —
 executed by the :class:`GeneratorBackend` (= :class:`Network`), the
 reference engine.  Algorithms may additionally ship an *array program*
 (vectorized per-round updates over struct-of-arrays state) executed by
-the :class:`ArrayBackend`; both conform to the :class:`ExecutionBackend`
-protocol and produce byte-identical results from the same seed (see
+the :class:`ArrayBackend`, and a *batched* array program executed over
+a whole seed list at once by the :class:`BatchedArrayBackend`; all
+produce byte-identical results from the same seed (see
 ``repro.distributed.backends``).
 """
 
@@ -23,11 +24,14 @@ from repro.distributed.backends import (
     BACKENDS,
     ArrayBackend,
     ArrayContext,
+    BatchedArrayBackend,
+    BatchedArrayContext,
     ExecutionBackend,
     GeneratorBackend,
     int_payload_bits,
     resolve_backend,
     run_program,
+    run_program_batched,
 )
 from repro.distributed.message import bit_size
 from repro.distributed.models import (
@@ -46,11 +50,14 @@ __all__ = [
     "BACKENDS",
     "ArrayBackend",
     "ArrayContext",
+    "BatchedArrayBackend",
+    "BatchedArrayContext",
     "ExecutionBackend",
     "GeneratorBackend",
     "int_payload_bits",
     "resolve_backend",
     "run_program",
+    "run_program_batched",
     "CONGEST",
     "LOCAL",
     "CongestViolation",

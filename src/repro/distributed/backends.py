@@ -62,6 +62,27 @@ engine batches its per-round flush, so an exception mid-scan drops that
 resume's batch too).  Everything on the success path — rounds,
 messages, bits, peak, outputs — is byte-identical, pinned by
 ``tests/test_backend_identity.py`` against the seed-identity goldens.
+
+**Seed-axis batching (ISSUE 4).**  A sweep repeats the same graph over
+many seeds; running the seeds one at a time pays the whole Python
+per-run overhead — backend construction, the O(n) RNG spawn, and one
+NumPy dispatch chain per seed — once *per seed*.
+:class:`BatchedArrayBackend` executes a **batched array program** over
+SoA state with a leading ``(num_seeds, n)`` axis instead: one run
+computes every seed's execution simultaneously, with
+
+* per-(seed, node) RNG streams via :class:`~repro.distributed.batch_rng.
+  LaneRngs` — a bit-exact, vectorized replication of the per-node
+  ``Generator`` streams ``Network`` spawns, so draws for *all* lanes of
+  a resume are a few array ops;
+* masked per-seed termination — a seed whose nodes have all returned
+  contributes no rounds, no groups, and no budget checks while the
+  batch finishes the stragglers;
+* batched accounting (:meth:`BatchedArrayContext.account_groups` rows
+  carry a seed index) that still produces one byte-identical
+  :class:`RunResult` *per seed*, pinned against the generator backend
+  and the seed-identity goldens by ``tests/test_distributed/
+  test_batched_backend.py``.
 """
 
 from __future__ import annotations
@@ -70,6 +91,7 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.distributed.batch_rng import LaneRngs
 from repro.distributed.metrics import RunResult
 from repro.distributed.models import LOCAL, CongestViolation, Model
 from repro.distributed.network import Network
@@ -119,6 +141,24 @@ def int_payload_bits(values: np.ndarray | Sequence[int]) -> np.ndarray:
         x[big] >>= shift
     length += x  # remaining 0/1 bit
     return 1 + np.maximum(length, 1)
+
+
+def segment_bounds(sorted_keys: np.ndarray) -> np.ndarray:
+    """Run boundaries of a (stably) sorted key array.
+
+    Returns ``bounds`` such that run ``k`` occupies
+    ``sorted_keys[bounds[k]:bounds[k+1]]`` for
+    ``k in range(bounds.size - 1)``; an empty input yields ``[0]`` (no
+    runs).  The proposal-routing idiom shared by the Israeli–Itai and
+    interleaved-LPS array programs: sort proposals by target, then walk
+    the per-target runs.
+    """
+    if sorted_keys.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    heads = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    return np.append(heads, sorted_keys.size)
 
 
 class ArrayContext:
@@ -267,6 +307,23 @@ class ArrayBackend:
     :class:`RunResult` from the same seed.  ``run`` is one-shot (the
     whole execution happens inside the program); calling it again
     returns the finished result, as a drained ``Network`` does.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology (also consulted for edge weights).
+    program:
+        An :data:`ArrayProgram` — ``program(ctx, **params)`` owning its
+        round loop and reporting through the :class:`ArrayContext`.
+    params:
+        Extra keyword arguments passed to the program (global
+        knowledge such as n, k, ε).
+    seed:
+        Master seed; ``ctx.rngs`` spawns per-node streams from it
+        exactly as ``Network`` does.
+    model:
+        ``LOCAL`` (default) or a CONGEST variant enforcing the
+        per-message bit bound through :meth:`ArrayContext.account_groups`.
     """
 
     def __init__(
@@ -313,6 +370,306 @@ class ArrayBackend:
     def charge_rounds(self, extra: int) -> None:
         """Add analytically charged rounds (see RunResult.charged_rounds)."""
         self.result.charged_rounds += extra
+
+
+#: A batched array program: like :data:`ArrayProgram`, but state carries
+#: a leading seed axis and outputs are returned per seed.
+BatchedArrayProgram = Callable[..., "Sequence[Sequence[Any]] | None"]
+
+
+class BatchedArrayContext:
+    """Execution context for a **batched** array program.
+
+    The same contract as :class:`ArrayContext`, lifted to a leading
+    seed axis: state columns are ``(num_seeds, n)`` arrays, the three
+    lockstep calls take per-seed vectors, and accounting rows carry a
+    seed index.  Per-seed counters accumulate in ``int64`` arrays and
+    are materialized into one :class:`RunResult` per seed by
+    :meth:`finalize` — each byte-identical to the corresponding
+    single-seed run.
+
+    * ``lanes`` — per-(seed, node) RNG streams
+      (:class:`~repro.distributed.batch_rng.LaneRngs`); lane
+      ``s * n + v`` replicates ``Network(..., seed=seeds[s])``'s node
+      ``v`` RNG bit for bit.  Built on first access, like
+      :attr:`ArrayContext.rngs`.
+    * ``begin_step(live)`` — ``live[s]`` is seed ``s``'s live-node
+      count entering the resume; raises the budget ``RuntimeError``
+      when any seed with live nodes is out of rounds.  Seeds whose
+      programs have fully returned pass 0 and are never checked — the
+      masked-termination rule.
+    * ``account_groups(bits, counts, seed_of)`` — one row per grouped
+      send, tagged with the sending seed; totals, volumes, peaks, and
+      the CONGEST check land on each seed's counters exactly as the
+      generator engine computes them.
+    * ``end_step(yielded)`` — ``yielded[s]`` says whether some node of
+      seed ``s`` yielded; only those seeds gain a round.
+
+    The CSR helpers (:meth:`masked_degrees`, :meth:`neighbor_any`,
+    :meth:`neighbor_max`) accept ``(num_seeds, n)`` inputs and reduce
+    every seed's segments in one pass.
+    """
+
+    __slots__ = (
+        "graph",
+        "n",
+        "num_seeds",
+        "indptr",
+        "indices",
+        "model",
+        "max_rounds",
+        "_limit",
+        "_seeds",
+        "_lanes",
+        "_rounds",
+        "_messages",
+        "_bits",
+        "_peak",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        seeds: Sequence[int],
+        model: Model,
+        limit: int | None,
+        max_rounds: int,
+    ) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.num_seeds = len(seeds)
+        self.indptr, self.indices, _ = graph.adjacency_arrays()
+        self.model = model
+        self.max_rounds = max_rounds
+        self._limit = limit
+        self._seeds = list(seeds)
+        self._lanes: LaneRngs | None = None
+        self._rounds = np.zeros(self.num_seeds, dtype=np.int64)
+        self._messages = np.zeros(self.num_seeds, dtype=np.int64)
+        self._bits = np.zeros(self.num_seeds, dtype=np.int64)
+        self._peak = np.zeros(self.num_seeds, dtype=np.int64)
+
+    @property
+    def lanes(self) -> LaneRngs:
+        """Per-(seed, node) RNG lanes, spawned on first access.
+
+        Lane ``s * n + v`` is byte-identical to the RNG the generator
+        engine hands node ``v`` under ``seeds[s]``; a batched program
+        must make the same draws on the same lanes as its single-seed
+        twin makes on ``ctx.rngs``.
+        """
+        if self._lanes is None:
+            self._lanes = LaneRngs(self._seeds, self.n)
+        return self._lanes
+
+    @property
+    def rounds(self) -> np.ndarray:
+        """Per-seed rounds counted so far (read-only view)."""
+        view = self._rounds.view()
+        view.flags.writeable = False
+        return view
+
+    # -- lockstep accounting ------------------------------------------
+
+    def begin_step(self, live: np.ndarray) -> None:
+        """Top of one resume: the per-seed budget check."""
+        live = np.asarray(live, dtype=np.int64)
+        over = (live > 0) & (self._rounds >= self.max_rounds)
+        if over.any():
+            s = int(np.flatnonzero(over)[0])
+            raise RuntimeError(
+                f"{int(live[s])} node(s) still running after "
+                f"{self.max_rounds} rounds; lockstep protocol bug or "
+                "budget too small"
+            )
+
+    def account_groups(
+        self,
+        bits: np.ndarray | Sequence[int],
+        counts: np.ndarray | Sequence[int],
+        seed_of: np.ndarray | Sequence[int],
+    ) -> None:
+        """Account one resume's grouped sends across all seeds.
+
+        Row ``i`` is one group — payload of ``bits[i]`` bits to
+        ``counts[i]`` recipients — queued by a node of seed
+        ``seed_of[i]``.  Per-seed totals, ``bits·counts`` volumes,
+        peaks, and the CONGEST check match :meth:`Network.run`.
+        """
+        bits = np.asarray(bits, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        seed_of = np.asarray(seed_of, dtype=np.int64)
+        nonempty = counts > 0  # the generator engine skips empty groups
+        if not nonempty.all():
+            bits, counts, seed_of = (
+                bits[nonempty], counts[nonempty], seed_of[nonempty]
+            )
+        if bits.size == 0:
+            return
+        peak = int(bits.max())
+        if self._limit is not None and peak > self._limit:
+            s = int(seed_of[int(np.argmax(bits))])
+            raise CongestViolation(
+                f"{peak}-bit message exceeds {self.model.name} bound of "
+                f"{self._limit} bits (round {int(self._rounds[s])}, "
+                f"seed index {s})"
+            )
+        np.add.at(self._messages, seed_of, counts)
+        np.add.at(self._bits, seed_of, bits * counts)
+        np.maximum.at(self._peak, seed_of, bits)
+
+    def end_step(self, yielded: np.ndarray) -> None:
+        """End of one resume: seeds where some node yielded gain a round."""
+        self._rounds += np.asarray(yielded, dtype=bool)
+
+    def finalize(
+        self, outputs: Sequence[Sequence[Any]] | None
+    ) -> list[RunResult]:
+        """Materialize one :class:`RunResult` per seed."""
+        results = []
+        for s in range(self.num_seeds):
+            res = RunResult(
+                rounds=int(self._rounds[s]),
+                total_messages=int(self._messages[s]),
+                total_bits=int(self._bits[s]),
+                max_message_bits=int(self._peak[s]),
+            )
+            for v in range(self.n):
+                res.outputs[v] = None if outputs is None else outputs[s][v]
+            results.append(res)
+        return results
+
+    # -- CSR scatter/gather helpers (seed axis leading) ---------------
+
+    def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        """Per-(seed, vertex) count of neighbors with ``mask`` set.
+
+        ``mask`` is ``bool[num_seeds, n]``; one cumulative sum per seed
+        row over the shared half-edge array, differenced at ``indptr``.
+        """
+        if self.indices.size == 0:
+            return np.zeros((self.num_seeds, self.n), dtype=np.int64)
+        csum = np.cumsum(mask[:, self.indices], axis=1, dtype=np.int64)
+        csum = np.concatenate(
+            [np.zeros((self.num_seeds, 1), dtype=np.int64), csum], axis=1
+        )
+        return csum[:, self.indptr[1:]] - csum[:, self.indptr[:-1]]
+
+    def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
+        """Per-(seed, vertex) "some neighbor has ``mask`` set"."""
+        return self.masked_degrees(mask) > 0
+
+    def neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-(seed, vertex) max of ``values`` over (masked) neighbors.
+
+        ``values`` is ``(num_seeds, n)`` and must be nonnegative;
+        vertices with no (masked) neighbors get 0, with the same
+        empty-segment repair as :meth:`ArrayContext.neighbor_max`.
+        """
+        if self.indices.size == 0:
+            return np.zeros((self.num_seeds, self.n), dtype=values.dtype)
+        vals = values[:, self.indices]
+        if mask is not None:
+            vals = np.where(mask[:, self.indices], vals, 0)
+        starts = np.minimum(self.indptr[:-1], self.indices.size - 1)
+        out = np.maximum.reduceat(vals, starts, axis=1)
+        out[:, self.indptr[:-1] == self.indptr[1:]] = 0
+        return out
+
+
+class BatchedArrayBackend:
+    """Executes a batched array program: one run, many seeds.
+
+    Construct with the batch's ``seeds`` list instead of a single
+    ``seed``; ``run`` executes every seed's computation simultaneously
+    over ``(num_seeds, n)`` SoA state and returns **one**
+    :class:`RunResult` **per seed**, each byte-identical to the
+    single-seed run of the same algorithm (generator or array backend)
+    under that seed.
+
+    Parameters
+    ----------
+    graph:
+        The shared topology.  Batching is across *seeds*, so all lanes
+        of the batch execute on this one graph.
+    program:
+        A :data:`BatchedArrayProgram` — the algorithm's seed-axis twin
+        (e.g. :func:`repro.baselines.luby_mis.luby_mis_array_batched`).
+    params:
+        Extra keyword arguments passed to the program.
+    seeds:
+        One master seed per batch lane row; RNG streams per (seed,
+        node) are spawned exactly as ``Network`` spawns them.
+    model:
+        ``LOCAL`` or a CONGEST variant; the bit bound applies to every
+        seed's messages.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        program: BatchedArrayProgram,
+        params: dict[str, Any] | None = None,
+        seeds: Sequence[int] = (0,),
+        model: Model = LOCAL,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.seeds = list(seeds)
+        self._limit = model.limit(graph.n, graph.max_degree())
+        self._program = program
+        self._params = params or {}
+        self.results: list[RunResult] | None = None
+        self._ctx = BatchedArrayContext(
+            graph, self.seeds, model, self._limit, 0
+        )
+
+    def prepare(self) -> "BatchedArrayBackend":
+        """Eagerly spawn the RNG lanes (see :meth:`ArrayBackend.prepare`)."""
+        _ = self._ctx.lanes
+        return self
+
+    def run(self, max_rounds: int = 1_000_000) -> list[RunResult]:
+        """Execute the batched program to completion (idempotent)."""
+        if self.results is None:
+            self._ctx.max_rounds = max_rounds
+            outputs = self._program(self._ctx, **self._params)
+            self.results = self._ctx.finalize(outputs)
+        return self.results
+
+
+def run_program_batched(
+    graph: Graph,
+    *,
+    backend: str,
+    generator_program: Callable[..., Any],
+    batched_array_program: BatchedArrayProgram,
+    params: dict[str, Any] | None = None,
+    seeds: Sequence[int],
+    model: Model = LOCAL,
+    max_rounds: int = 1_000_000,
+) -> list[RunResult]:
+    """Run one algorithm over a batch of seeds on the chosen backend.
+
+    The batched counterpart of :func:`run_program`: ``"array"``
+    executes the whole batch as one :class:`BatchedArrayBackend` run;
+    ``"generator"`` runs one :class:`Network` per seed (the reference
+    semantics batching must reproduce).  Either way the return value is
+    one :class:`RunResult` per seed, in ``seeds`` order.
+    """
+    cls = resolve_backend(backend)
+    if cls is GeneratorBackend:
+        return [
+            Network(graph, generator_program, params=params, seed=int(s),
+                    model=model).run(max_rounds=max_rounds)
+            for s in seeds
+        ]
+    net = BatchedArrayBackend(
+        graph, batched_array_program, params=params, seeds=seeds, model=model
+    )
+    return net.run(max_rounds=max_rounds)
 
 
 #: Backend registry — the seam layer 4 routes ``--backend`` through.

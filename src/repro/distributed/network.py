@@ -33,8 +33,10 @@ Engine design (the CSR refactor of ISSUE 2):
 (exported as ``GeneratorBackend``): its per-resume semantics — budget
 check at the top of every resume, grouped sends sized once and counted
 per recipient, a round counted iff some node yielded — define what any
-other backend (e.g. the vectorized ``ArrayBackend``) must reproduce
-byte for byte.
+other backend must reproduce byte for byte: the vectorized
+``ArrayBackend`` and the seed-axis ``BatchedArrayBackend``, whose RNG
+lanes (``repro.distributed.batch_rng``) replicate this engine's
+``SeedSequence(seed).spawn(n)`` node streams bit for bit.
 """
 
 from __future__ import annotations
@@ -66,7 +68,10 @@ class Network:
         knowledge such as n, k, ε — the paper's algorithms assume nodes
         know n and the accuracy parameter).
     seed:
-        Master seed for all node RNGs.
+        Master seed for all node RNGs; node ``v`` receives
+        ``default_rng(SeedSequence(seed).spawn(n)[v])``.  This spawn
+        recipe is a compatibility contract: every array/batched port
+        replays exactly these per-node streams.
     model:
         ``LOCAL`` (default) or ``CONGEST``; CONGEST enforces the
         per-message bit bound.

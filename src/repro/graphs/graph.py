@@ -21,7 +21,12 @@ edges appear in *edge-insertion order* — the position of a half-edge in
 the slice is the "port number" of that edge at ``v``, exactly as in the
 distributed model of Section 2 (Algorithm 3 indexes its counter array
 by port).  The vectorized build preserves this with a stable argsort of
-the interleaved endpoint array.
+the interleaved endpoint array.  Since the backend refactors (ISSUEs
+3–4) the invariant is doubly load-bearing: the array backends' CSR
+scatter/gather reductions (``ArrayContext.masked_degrees`` /
+``neighbor_max`` and their batched twins) read "what my neighbors sent"
+straight off these slices, so reordering them would silently corrupt
+every array program.
 
 Topology is immutable after construction; weights may be replaced
 wholesale via :meth:`Graph.with_weights` (used by Algorithm 5, which
@@ -333,7 +338,13 @@ class Graph:
         return self._indptr
 
     def adjacency_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The raw CSR triple ``(indptr, indices, eids)`` (read-only)."""
+        """The raw CSR triple ``(indptr, indices, eids)`` (read-only).
+
+        The substrate the execution backends' scatter/gather rides on:
+        ``ArrayContext`` / ``BatchedArrayContext`` hold exactly these
+        views, relying on the port-numbering invariant (module
+        docstring) for their segment reductions.
+        """
         return self._indptr, self._indices, self._eids
 
     def _sorted_csr(self) -> tuple[np.ndarray, np.ndarray]:

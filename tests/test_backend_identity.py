@@ -1,9 +1,10 @@
 """Backend seed-identity: ArrayBackend == GeneratorBackend, byte for byte.
 
 The ISSUE 3 acceptance bar: for every ported algorithm (Luby MIS,
-Israeli–Itai, generic_mcm), the array backend must produce a
-``RunResult`` byte-identical to the generator backend's from the same
-seed — asserted two ways:
+Israeli–Itai, generic_mcm — joined in ISSUE 4 by the Cole–Vishkin ring
+pipeline and the interleaved LPS matching), the array backend must
+produce a ``RunResult`` byte-identical to the generator backend's from
+the same seed — asserted two ways:
 
 * directly, ``RunResult`` dataclass equality (rounds, messages, bits,
   peak, outputs) across graph families and seeds;
@@ -16,7 +17,9 @@ import json
 
 import pytest
 
+from repro.baselines.cole_vishkin import ring_coloring, ring_maximal_matching
 from repro.baselines.israeli_itai import israeli_itai_matching
+from repro.baselines.lps_interleaved import lps_interleaved_mwm
 from repro.baselines.luby_mis import luby_mis, verify_mis
 from repro.core.generic_mcm import generic_mcm
 from repro.graphs import (
@@ -31,6 +34,7 @@ from repro.graphs import (
     star_graph,
     watts_strogatz,
 )
+from repro.graphs.weights import assign_uniform_weights
 
 from tests.golden_harness import GOLDEN_PATH, _edges, _res_dict, to_canonical_json
 
@@ -81,6 +85,35 @@ class TestGenericMcmEquivalence:
         assert st_g.mis_sizes == st_a.mis_sizes
 
 
+@pytest.mark.parametrize("n", [3, 5, 9, 17, 64])
+class TestColeVishkinEquivalence:
+    def test_ring_coloring(self, n):
+        g = cycle_graph(n)
+        colors_g, res_g = ring_coloring(g)
+        colors_a, res_a = ring_coloring(g, backend="array")
+        assert colors_g == colors_a
+        assert res_g == res_a
+        assert set(colors_a.values()) <= {0, 1, 2}
+
+    def test_ring_matching(self, n):
+        g = cycle_graph(n)
+        m_g, res_g = ring_maximal_matching(g)
+        m_a, res_a = ring_maximal_matching(g, backend="array")
+        assert sorted(m_g.edges()) == sorted(m_a.edges())
+        assert res_g == res_a
+
+
+@pytest.mark.parametrize("seed", [0, 1, 9])
+@pytest.mark.parametrize("name", ["gnp", "ba", "ws"])
+class TestLpsInterleavedEquivalence:
+    def test_lps_interleaved(self, name, seed):
+        g = assign_uniform_weights(GRAPHS[name], seed=seed + 1)
+        m_g, res_g = lps_interleaved_mwm(g, seed=seed)
+        m_a, res_a = lps_interleaved_mwm(g, seed=seed, backend="array")
+        assert sorted(m_g.edges()) == sorted(m_a.edges())
+        assert res_g == res_a
+
+
 class TestArrayBackendMatchesGoldens:
     """Array-backend reruns of the golden cells, byte-compared.
 
@@ -119,6 +152,33 @@ class TestArrayBackendMatchesGoldens:
         )
         self._assert_cell(
             golden, "israeli_itai/ba30", {"edges": _edges(m), "res": _res_dict(res)}
+        )
+
+    def test_cole_vishkin_cells(self, golden):
+        g = cycle_graph(9)
+        colors, res = ring_coloring(g, backend="array")
+        self._assert_cell(
+            golden,
+            "cole_vishkin_coloring/ring9",
+            {
+                "colors": {str(k): colors[k] for k in sorted(colors)},
+                "res": _res_dict(res),
+            },
+        )
+        m, res = ring_maximal_matching(g, backend="array")
+        self._assert_cell(
+            golden,
+            "cole_vishkin_matching/ring9",
+            {"edges": _edges(m), "res": _res_dict(res)},
+        )
+
+    def test_lps_interleaved_cell(self, golden):
+        g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+        m, res = lps_interleaved_mwm(g_w, seed=9, backend="array")
+        self._assert_cell(
+            golden,
+            "lps_interleaved/gnp20w",
+            {"edges": _edges(m), "res": _res_dict(res)},
         )
 
     def test_generic_mcm_cell(self, golden):

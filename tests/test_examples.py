@@ -51,6 +51,12 @@ class TestExamples:
         assert "worst ratio" in out
         assert "NO" not in out
 
+    @pytest.mark.slow  # ~6 s: three full 64-seed sweeps; CI's docs job
+    def test_batched_sweep(self, capsys):  # runs it on every push anyway
+        out = run_example("batched_sweep.py", capsys)
+        assert "batched x64" in out
+        assert "identity: batched records == per-seed generator records" in out
+
     def test_examples_directory_complete(self):
         """All documented examples exist and are nonempty."""
         expected = {
@@ -61,6 +67,7 @@ class TestExamples:
             "bipartite_vs_general.py",
             "protocol_trace.py",
             "scenario_sweep.py",
+            "batched_sweep.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Reference checker for the repository's Markdown docs.
+
+Docs rot when code moves; this tool fails CI the moment README.md or
+ARCHITECTURE.md mentions something the tree no longer has.  For each
+Markdown file given on the command line it extracts
+
+* **file paths** — any token ending in a known source extension
+  (``.py``, ``.md``, ``.json``, ``.yml``, ``.ini``) — and requires the
+  path to exist relative to the repository root;
+* **dotted ``repro.*`` names** — modules, and functions/classes reached
+  through them — and requires the name to import (the longest prefix
+  is imported as a module, remaining segments are resolved with
+  ``getattr``).
+
+Usage::
+
+    python tools/check_docs.py README.md ARCHITECTURE.md
+
+Exit status 0 when every reference resolves, 1 otherwise (each failure
+is printed as ``file:line: reference — reason``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))  # for `tests.*` / `benchmarks.*` mentions
+
+#: Tokens ending in one of these are treated as repository file paths.
+_PATH_RE = re.compile(
+    r"\.?[A-Za-z0-9_][A-Za-z0-9_./-]*\.(?:py|md|json|yml|ini)\b"
+)
+#: Dotted names rooted at the package.
+_MODULE_RE = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+#: Inline placeholders that are obviously not real paths.
+_SKIP_SUBSTRINGS = ("http://", "https://", "<", ">")
+
+
+def _check_path(token: str) -> str | None:
+    """Return an error string if ``token`` is not a real repo path."""
+    if (REPO_ROOT / token).exists():
+        return None
+    return f"path does not exist: {token}"
+
+
+def _check_dotted(token: str) -> str | None:
+    """Return an error string if ``token`` does not import/resolve."""
+    parts = token.split(".")
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError:
+            continue
+        for attr in parts[cut:]:
+            if not hasattr(obj, attr):
+                return f"{module_name!r} has no attribute {attr!r}"
+            obj = getattr(obj, attr)
+        return None
+    return f"module {token!r} does not import"
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    """All unresolved references in one Markdown file."""
+    errors: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if any(s in line for s in _SKIP_SUBSTRINGS):
+            continue
+        seen: set[str] = set()
+        for m in _PATH_RE.finditer(line):
+            token = m.group(0)
+            if token.startswith("./"):
+                token = token[2:]
+            if token in seen:
+                continue
+            seen.add(token)
+            err = _check_path(token)
+            if err:
+                errors.append(f"{path.name}:{lineno}: {err}")
+        for m in _MODULE_RE.finditer(line):
+            token = m.group(0).rstrip(".")
+            if token in seen:
+                continue
+            seen.add(token)
+            err = _check_dotted(token)
+            if err:
+                errors.append(f"{path.name}:{lineno}: {err}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for name in argv:
+        path = (REPO_ROOT / name).resolve()
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    if errors:
+        print(f"{len(errors)} stale doc reference(s):", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(argv)} file(s), all references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
