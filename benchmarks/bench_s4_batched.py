@@ -21,21 +21,30 @@ actually pays per seed, and the RNG spawn it contains is precisely one
 of the per-seed costs batching amortizes.
 
 Workloads: Luby MIS and Israeli–Itai across the scenario families at
-n = 2000 with a 16-seed batch.  Shape (committed full run:
-``benchmarks/results/s4_batched.json``): batched Luby lands ≥ 9x
-end-to-end and ≥ 1.8x on the round loop alone on every family;
-Israeli–Itai lands ~5–8x end-to-end — less than Luby because its
-per-phase ``choice`` replay keeps a per-lane candidate-*selection*
-loop the lanes cannot vectorize (the same RNG-replay bound that caps
-its single-run array speedup at ~1.3x, see ARCHITECTURE.md), yet far
-above its 1.3x single-run ceiling because the spawn and the *draws*
-batch fully.
+n = 2000 with a 16-seed batch.  The committed full run
+(``benchmarks/results/s4_batched.json``, captured at PR 4) shows
+batched Luby ≥ 9x end-to-end and Israeli–Itai ~5–8x — against
+sequential legs that still paid a per-seed Generator spawn and a
+per-node Python draw loop.
+
+**Post-ISSUE-5 note.**  The single-seed array programs now draw
+through the same bulk RNG lanes the batch uses (see
+``ArrayContext.lanes`` and ``benchmarks/bench_s5_weighted.py``), which
+collapsed exactly the per-seed costs this batch amortized: at n = 2000
+the sequential and batched legs are within ~±10% of each other, and
+the seed-axis win concentrates where per-run dispatch overhead
+dominates — many seeds on small-to-mid graphs (~2–4x at n ≤ 500) and
+the weighted pipeline's per-iteration box runs (bench_s5's batched
+cells).  The CI smoke gate therefore runs at n = 500 × 16 seeds, the
+regime the batch seam is *for*; the n = 2000 cells remain in the full
+matrix (with their identity asserts) to keep the historical
+comparison measurable.
 
 Run as a script for the JSON artifact::
 
     PYTHONPATH=src python benchmarks/bench_s4_batched.py --out s4.json
 
-``--quick`` restricts to the n=2000 Luby/BA smoke cell (plus the II
+``--quick`` restricts to the n=500 Luby/BA smoke cell (plus the II
 cell on the same graph); ``--check`` exits nonzero if the batched run
 is slower than the sequential runs on that smoke cell (tighten with
 ``--min-speedup``) — the CI gate.
@@ -91,8 +100,10 @@ WORKLOADS: dict[str, tuple[Callable, Callable, bool]] = {
     "israeli_itai": (israeli_itai_array, israeli_itai_array_batched, False),
 }
 
-#: The CI smoke cell: (workload, family, n, num_seeds).
-SMOKE_CELL = ("luby_mis", "barabasi_albert", 2000, 16)
+#: The CI smoke cell: (workload, family, n, num_seeds).  n = 500 is the
+#: dispatch-dominated regime the batch seam targets post-ISSUE-5 (see
+#: the module docstring).
+SMOKE_CELL = ("luby_mis", "barabasi_albert", 500, 16)
 
 
 def _measure_sequential(g, program, params, seeds, reps):
@@ -174,6 +185,15 @@ def run_s4(
             for workload in WORKLOADS:
                 for family in FAMILIES:
                     cells.append(bench_cell(workload, family, n, num_seeds, reps))
+        wl, fam, n, k = SMOKE_CELL
+        if not any(
+            (c["workload"], c["family"], c["n"], c["num_seeds"])
+            == (wl, fam, n, k)
+            for c in cells
+        ):
+            # Keep --check functional on full runs: the gate cell is
+            # smaller than the default matrix sizes since ISSUE 5.
+            cells.append(bench_cell(wl, fam, n, k, reps))
     return {
         "sizes": sizes if not quick else [SMOKE_CELL[2]],
         "num_seeds": num_seeds if not quick else SMOKE_CELL[3],
@@ -212,11 +232,11 @@ def show(data: dict[str, Any]) -> None:
 
 
 def test_batched_speedup(benchmark, report):
-    data = once(benchmark, lambda: run_s4([2000], 16, reps=2, quick=True))
+    data = once(benchmark, lambda: run_s4([500], 16, reps=2, quick=True))
     report(show, data)
     for c in data["cells"]:
         assert c["identical_results"]
-    # CI boxes are noisy; the committed full run shows >= 5x on Luby/BA.
+    # CI boxes are noisy; a healthy run shows ~2x on the n=500 cell.
     assert smoke_speedup(data) >= 1.0, data
 
 
@@ -229,7 +249,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--reps", type=int, default=None,
                     help="best-of reps (default: 3, or 2 with --quick)")
     ap.add_argument("--quick", action="store_true",
-                    help="only the n=2000 Luby/BA + II smoke cells")
+                    help="only the n=500 Luby/BA + II smoke cells")
     ap.add_argument("--check", action="store_true",
                     help="exit 2 if the batched run is slower than the "
                          "sequential runs on the Luby/BA smoke cell")

@@ -17,7 +17,14 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.runner import ExperimentResult, ParallelRunner
 from repro.analysis.tables import format_table
-from repro.core import bipartite_mcm, general_mcm, generic_mcm, weighted_mwm
+from repro.baselines.lps_mwm import lps_mwm
+from repro.core import (
+    bipartite_mcm,
+    general_mcm,
+    generic_mcm,
+    kopt_mwm,
+    weighted_mwm,
+)
 from repro.graphs import (
     Graph,
     barabasi_albert,
@@ -111,12 +118,17 @@ ALGORITHMS: dict[str, float] = {
     "bipartite_mcm": 1.0 - 1.0 / 3.0,  # Thm 3.8 with k=3
     "general_mcm": 1.0 - 1.0 / 3.0,    # Thm 3.11 with k=3
     "weighted_mwm": 0.5 - 0.1,         # Thm 4.5 with ε=0.1
+    "lps_mwm": 0.25,                   # the [18] black box: ¼-MWM
+    "kopt_mwm": 1.0 - 1.0 / 3.0,       # Lemma 4.2 with k=2: k/(k+1)
 }
 
 #: algorithms with an array-program port; the rest fall back to the
 #: generator backend when ``backend="array"`` is requested (recorded
-#: per cell as ``array_backend`` so artifacts stay self-describing).
-ARRAY_PORTED: frozenset[str] = frozenset({"generic_mcm"})
+#: per cell as ``array_backend`` plus the algorithm's name under
+#: ``fallback_algo`` so artifacts stay self-describing).
+ARRAY_PORTED: frozenset[str] = frozenset(
+    {"generic_mcm", "weighted_mwm", "lps_mwm", "kopt_mwm"}
+)
 
 
 def build_scenario(name: str, size: int, seed: int) -> Graph:
@@ -149,7 +161,7 @@ def _check_matching(g: Graph, m: Matching) -> None:
 def run_scenario_cell(
     scenario: str, algo: str, size: int = 20, seed: int = 0,
     backend: str = "generator",
-) -> dict[str, float]:
+) -> dict[str, float | str]:
     """One matrix cell: build the graph, run the algorithm, check bounds.
 
     Returns ``value`` (matching size/weight), ``opt`` (exact oracle),
@@ -157,11 +169,13 @@ def run_scenario_cell(
     ``array_backend`` = 1.0 iff the cell actually executed on the
     array backend (requesting ``"array"`` for an algorithm without an
     array port falls back to the generator engine — the reference
-    semantics — and records 0.0), and ``ok`` = 1.0 iff the matching is
-    valid and meets the bound.  Cells where the algorithm does not
-    apply (bipartite_mcm on an odd cycle) report ``skipped`` = 1.0
-    instead.  Backend choice never changes ``value``/``ratio``: both
-    engines are seed-identical by construction.
+    semantics — and records 0.0 **plus** the algorithm's name under
+    ``fallback_algo``, so sweep artifacts name exactly what fell back
+    as ports land), and ``ok`` = 1.0 iff the matching is valid and
+    meets the bound.  Cells where the algorithm does not apply
+    (bipartite_mcm on an odd cycle) report ``skipped`` = 1.0 instead.
+    Backend choice never changes ``value``/``ratio``: both engines are
+    seed-identical by construction.
     """
     if algo not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algo!r}; pick from {sorted(ALGORITHMS)}")
@@ -183,14 +197,24 @@ def run_scenario_cell(
     elif algo == "general_mcm":
         m, _, _ = general_mcm(g, k=3, seed=seed)
         value, opt = float(len(m)), float(maximum_matching_size(g))
+    elif algo == "lps_mwm":
+        gw = assign_uniform_weights(g, seed=seed)
+        m, _ = lps_mwm(gw, seed=seed, backend=used)
+        value, opt = m.weight(), maximum_matching_weight(gw)
+        g = gw
+    elif algo == "kopt_mwm":
+        gw = assign_uniform_weights(g, seed=seed)
+        m, _ = kopt_mwm(gw, k=2, backend=used)
+        value, opt = m.weight(), maximum_matching_weight(gw)
+        g = gw
     else:  # weighted_mwm
         gw = assign_uniform_weights(g, seed=seed)
-        m, _, _ = weighted_mwm(gw, eps=0.1, seed=seed)
+        m, _, _ = weighted_mwm(gw, eps=0.1, seed=seed, backend=used)
         value, opt = m.weight(), maximum_matching_weight(gw)
         g = gw
     _check_matching(g, m)
     ratio = value / opt if opt > 0 else 1.0
-    return {
+    record: dict[str, float | str] = {
         "value": value,
         "opt": opt,
         "ratio": ratio,
@@ -198,6 +222,9 @@ def run_scenario_cell(
         "array_backend": 1.0 if used == "array" else 0.0,
         "ok": 1.0 if ratio >= bound - 1e-9 else 0.0,
     }
+    if used != backend:
+        record["fallback_algo"] = algo
+    return record
 
 
 def run_scenario_cell_batch(
@@ -206,7 +233,7 @@ def run_scenario_cell_batch(
     algo: str,
     size: int = 20,
     backend: str = "generator",
-) -> list[dict[str, float]]:
+) -> list[dict[str, float | str]]:
     """Batch-aware matrix cell: one call covers a whole seed chunk.
 
     The batch-aware twin of :func:`run_scenario_cell` for

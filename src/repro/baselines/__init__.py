@@ -19,7 +19,7 @@ from repro.baselines.israeli_itai import (
     israeli_itai_program,
 )
 from repro.baselines.luby_mis import luby_mis, luby_mis_batched, luby_mis_program
-from repro.baselines.lps_mwm import lps_mwm
+from repro.baselines.lps_mwm import lps_mwm, lps_mwm_batched
 from repro.baselines.lps_interleaved import lps_interleaved_mwm
 from repro.baselines.hoepman import hoepman_mwm, hoepman_program
 from repro.baselines.pim import pim_matching
@@ -38,6 +38,7 @@ __all__ = [
     "luby_mis",
     "luby_mis_batched",
     "luby_mis_program",
+    "lps_mwm_batched",
     "lps_mwm",
     "lps_interleaved_mwm",
     "hoepman_mwm",

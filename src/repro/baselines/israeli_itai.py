@@ -33,9 +33,9 @@ import numpy as np
 from repro.distributed.backends import (
     ArrayContext,
     BatchedArrayContext,
+    replay_acceptor_choices,
     run_program,
     run_program_batched,
-    segment_bounds,
 )
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
@@ -90,10 +90,18 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
     generator form is its never-matched neighbors (every matched node
     announces ``_MATCHED`` in its matching phase, and a node that quits
     unmatched provably has no unmatched neighbors left), so the
-    residual graph is implied by ``mate == -1``.  The coin flips and
-    the proposer/acceptor ``choice`` draws are replayed per node with
-    the identical RNG calls the generator program makes; proposal
-    routing, success detection, and accounting are vectorized.
+    residual graph is implied by ``mate == -1``.
+
+    Randomness comes from ``ctx.lanes`` — the bulk bit-exact replica
+    of the per-node Generator streams — with the draw sets of each
+    resume precomputed as arrays: live nodes flip their coins in one
+    bulk call, proposers and accepting acceptors each consume one bulk
+    bounded draw (``choice(seq)`` consumes exactly ``integers(0,
+    len(seq))``), and nodes that returned draw nothing.  Only the
+    selection of the chosen neighbor from each proposer's candidate
+    list stays a per-node loop — this is the attack on the documented
+    ~1.3x RNG-replay bound (ISSUE 5; bench_s5 records the before/
+    after).
     """
     g = ctx.graph
     size = ctx.n
@@ -101,7 +109,8 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
     mate = np.full(size, -1, dtype=np.int64)
     alive = np.ones(size, dtype=bool)
     degrees = g.degrees()
-    rngs = ctx.rngs
+    snbrs = [g.sorted_neighbors(v) for v in range(size)]
+    lanes = ctx.lanes
     eight = np.int64(8)  # every tag payload is one 8-bit character
     while alive.any():
         # Resume A: matched nodes and nodes with no unmatched neighbor
@@ -117,15 +126,18 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
         live = np.flatnonzero(alive)
         if live.size == 0:
             break  # everyone returned without yielding: no round counted
+        coins = lanes.integers(0, 2, live)
+        proposer_ids = live[coins == 1]
+        # Each proposer replays choice(cands): one bounded draw, then
+        # the idx-th entry of its sorted unmatched-neighbor list.
+        idx = lanes.integers(0, residual_deg[proposer_ids], proposer_ids)
         proposer = np.zeros(size, dtype=bool)
+        proposer[proposer_ids] = True
         target = np.full(size, -1, dtype=np.int64)
-        for v in live.tolist():
-            if rngs[v].integers(0, 2):
-                candidates = g.sorted_neighbors(v)
-                candidates = candidates[unmatched[candidates]].tolist()
-                target[v] = int(rngs[v].choice(candidates))
-                proposer[v] = True
-        proposer_ids = np.flatnonzero(proposer)
+        for k in range(proposer_ids.size):
+            v = int(proposer_ids[k])
+            cand = snbrs[v][unmatched[snbrs[v]]]
+            target[v] = cand[idx[k]]
         ctx.account_groups(
             np.full(proposer_ids.size, eight), np.ones(proposer_ids.size, np.int64)
         )
@@ -135,21 +147,12 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
         ctx.begin_step(live.size)
         accepted_by = np.full(size, -1, dtype=np.int64)
         targets = target[proposer_ids]
-        accept_count = 0
-        if targets.size:
-            order = np.argsort(targets, kind="stable")  # per-target, src asc.
-            sorted_targets = targets[order]
-            sorted_srcs = proposer_ids[order]
-            bounds = segment_bounds(sorted_targets)
-            for k in range(bounds.size - 1):
-                dst = int(sorted_targets[bounds[k]])
-                if proposer[dst]:
-                    continue  # proposers ignore incoming proposals
-                proposals = sorted_srcs[bounds[k]: bounds[k + 1]].tolist()
-                accepted_by[dst] = int(rngs[dst].choice(proposals))
-                accept_count += 1
+        acceptors, chosen = replay_acceptor_choices(
+            lanes, targets, proposer_ids, proposer
+        )
+        accepted_by[acceptors] = chosen
         ctx.account_groups(
-            np.full(accept_count, eight), np.ones(accept_count, np.int64)
+            np.full(acceptors.size, eight), np.ones(acceptors.size, np.int64)
         )
         ctx.end_step(True)
         # Resume C: proposers learn acceptance; every freshly matched
@@ -157,7 +160,6 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
         ctx.begin_step(live.size)
         successful = proposer_ids[accepted_by[targets] == proposer_ids]
         mate[successful] = target[successful]
-        acceptors = np.flatnonzero(accepted_by != -1)
         mate[acceptors] = accepted_by[acceptors]
         matched_now = np.concatenate((successful, acceptors))
         ctx.account_groups(
@@ -226,31 +228,10 @@ def israeli_itai_array_batched(ctx: BatchedArrayContext) -> list[list[int]]:
         # proposal uniformly at random and replies.
         ctx.begin_step(alive.sum(axis=1))
         accepted_by = np.full((num_seeds, size), -1, dtype=np.int64)
-        key = prows * size + tgt  # flat (seed, target) lane of each proposal
-        order = np.argsort(key, kind="stable")  # per-target, src ascending
-        sorted_key = key[order]
-        sorted_src = pcols[order]
-        flat_proposer = proposer.reshape(-1)
-        acc_lane: list[int] = []
-        acc_off: list[int] = []
-        acc_count: list[int] = []
-        bounds = segment_bounds(sorted_key)
-        for k in range(bounds.size - 1):
-            b0 = int(bounds[k])
-            lane = int(sorted_key[b0])
-            if flat_proposer[lane]:
-                continue  # proposers ignore incoming proposals
-            acc_lane.append(lane)
-            acc_off.append(b0)
-            acc_count.append(int(bounds[k + 1]) - b0)
-        acc_lanes = np.asarray(acc_lane, dtype=np.int64)
-        if acc_lanes.size:
-            aidx = lanes.integers(
-                0, np.asarray(acc_count, dtype=np.int64), acc_lanes
-            )
-            flat_accepted = accepted_by.reshape(-1)
-            for k in range(acc_lanes.size):
-                flat_accepted[acc_lanes[k]] = sorted_src[acc_off[k] + aidx[k]]
+        acc_lanes, chosen = replay_acceptor_choices(
+            lanes, prows * size + tgt, pcols, proposer.reshape(-1)
+        )
+        accepted_by.reshape(-1)[acc_lanes] = chosen
         ctx.account_groups(
             np.full(acc_lanes.size, eight),
             np.ones(acc_lanes.size, np.int64),

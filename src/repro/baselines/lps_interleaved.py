@@ -150,7 +150,7 @@ def lps_interleaved_array(
     degrees = g.degrees()
     rngs = ctx.rngs
     eight = np.int64(8)
-    starts = np.minimum(indptr[:-1], max(int(indices.size) - 1, 0))
+    starts = indptr[:-1]
     while alive.any():
         # Resume A: matched nodes and nodes without a live usable edge
         # return; the rest target their heaviest available class, flip
@@ -159,7 +159,12 @@ def lps_interleaved_array(
         active_he = usable & ~dead[indices]
         inverted = np.where(active_he, num_classes - he_cls, 0)
         if indices.size:
-            best = np.maximum.reduceat(inverted, starts)
+            # Zero sentinel: keeps trailing degree-0 vertices' starts
+            # in range without shifting the last non-empty segment's
+            # boundary (see ArrayContext.neighbor_max).
+            best = np.maximum.reduceat(
+                np.concatenate((inverted, [np.int64(0)])), starts
+            )
             best[indptr[:-1] == indptr[1:]] = 0
         else:
             best = np.zeros(size, dtype=np.int64)

@@ -33,13 +33,31 @@ nothing to do, so class boundaries need no global synchronization.
 Global knowledge: nodes are parameterized by n and wmax (the standard
 assumptions; the paper's O(log n)-bit messages already presuppose
 weights polynomial in n).
+
+Three executable forms (ISSUE 5): :func:`lps_mwm_program` is the
+generator spec, :func:`lps_mwm_array` the vectorized array program,
+and :func:`lps_mwm_array_batched` its seed-axis batched twin (which
+also accepts per-lane weight classes so
+:func:`repro.core.weighted_mwm.weighted_mwm_batched` can run one box
+call per lane over a shared CSR).  ``lps_mwm(..., backend=...)`` /
+:func:`lps_mwm_batched` pick, and every form produces byte-identical
+``RunResult``s from the same seed.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Generator
+from typing import Generator, Sequence
 
+import numpy as np
+
+from repro.distributed.backends import (
+    ArrayContext,
+    BatchedArrayContext,
+    replay_acceptor_choices,
+    run_program,
+    run_program_batched,
+)
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -63,6 +81,261 @@ def _weight_class(w: float, wmax: float) -> int:
     while w <= wmax / (2.0 ** (j + 1)):
         j += 1
     return max(0, j)
+
+
+def _weight_class_array(
+    w: np.ndarray, wmax: float | np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`_weight_class` (exact, including the guards).
+
+    The scalar guard loops converge to the unique fixpoint ``j`` with
+    ``wmax/2^{j+1} < w <= wmax/2^j`` (or j = 0) from *any* starting
+    estimate, so a vectorized ``log2`` start followed by the same
+    masked corrections lands on identical classes — the float
+    comparisons use the same ``wmax / 2.0**j`` expressions.  ``wmax``
+    may carry leading batch axes (e.g. ``(num_seeds, 1)`` against a
+    shared ``(m,)`` weight row) for per-lane classification.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.size and (w <= 0).any():
+        raise ValueError("weights must be positive")
+    ratio = wmax / w
+    j = np.floor(np.log2(ratio)).astype(np.int64)
+    j = np.broadcast_to(j, np.broadcast_shapes(w.shape, np.shape(wmax))).copy()
+    wb = np.broadcast_to(w, j.shape)
+    wmaxb = np.broadcast_to(np.asarray(wmax, dtype=np.float64), j.shape)
+    while True:
+        over = (j > 0) & (wb > wmaxb / np.exp2(j.astype(np.float64)))
+        if not over.any():
+            break
+        j[over] -= 1
+    while True:
+        under = wb <= wmaxb / np.exp2((j + 1).astype(np.float64))
+        if not under.any():
+            break
+        j[under] += 1
+    return np.maximum(j, 0)
+
+
+def lps_mwm_array(
+    ctx: ArrayContext,
+    n: int,
+    wmax: float,
+    num_classes: int,
+    phases_per_class: int,
+) -> list[int]:
+    """Array program twin of :func:`lps_mwm_program`.
+
+    The protocol is fully lockstep — every node runs the identical
+    ``num_classes × phases_per_class`` schedule of 3-round phases and
+    only returns after it — so there is no ``alive`` mask: every
+    resume has all ``n`` nodes live and every resume counts a round.
+    SoA state is an ``int64`` ``mate`` column plus a ``dead`` mask of
+    delivered ``_MATCHED`` announcements (a broadcast, so one global
+    mask agrees with every generator node's private ``dead`` set; it
+    flips *after* resume C, landing next phase exactly like the
+    generator's post-yield inbox scan).  Coin flips and the two
+    ``choice`` replays are bulk ``ctx.lanes`` draws; only the
+    selection of the chosen neighbor from each proposer's sorted
+    candidate list stays a per-node loop.
+    """
+    g = ctx.graph
+    size = ctx.n
+    indptr, indices = ctx.indptr, ctx.indices
+    _, _, eids = g.adjacency_arrays()
+    he_cls = _weight_class_array(g.weights_array(), wmax)[eids]
+    vhe = np.repeat(np.arange(size, dtype=np.int64), np.diff(indptr))
+    degrees = g.degrees()
+    # Per-vertex neighbor ids sorted ascending with aligned classes —
+    # the order the generator program's sorted(active) lists use.
+    snbr: list[np.ndarray] = []
+    scls: list[np.ndarray] = []
+    for v in range(size):
+        seg = slice(int(indptr[v]), int(indptr[v + 1]))
+        nb, cl = indices[seg], he_cls[seg]
+        order = np.argsort(nb)
+        snbr.append(nb[order])
+        scls.append(cl[order])
+    # Half-edges of each class, precomputed (classes partition them).
+    cls_he = [np.flatnonzero(he_cls == c) for c in range(num_classes)]
+    mate = np.full(size, -1, dtype=np.int64)
+    dead = np.zeros(size, dtype=bool)
+    lanes = ctx.lanes
+    eight = np.int64(8)
+    for cls in range(num_classes):
+        for _phase in range(phases_per_class):
+            # --- round 1: proposals ----------------------------------
+            ctx.begin_step(size)
+            he = cls_he[cls]
+            live_he = he[~dead[indices[he]]]
+            cnt = np.bincount(vhe[live_he], minlength=size)
+            drawers = np.flatnonzero((mate == -1) & (cnt > 0))
+            coins = lanes.integers(0, 2, drawers)
+            prop = drawers[coins == 1]
+            idx = lanes.integers(0, cnt[prop], prop)
+            tgt = np.empty(prop.size, dtype=np.int64)
+            for k in range(prop.size):
+                v = int(prop[k])
+                cand = snbr[v][(scls[v] == cls) & ~dead[snbr[v]]]
+                tgt[k] = cand[idx[k]]
+            ctx.account_groups(
+                np.full(prop.size, eight), np.ones(prop.size, np.int64)
+            )
+            ctx.end_step(True)
+            # --- round 2: accepts ------------------------------------
+            # Every proposal lands in its target's active set (the
+            # edge's class is symmetric and an unmatched proposer was
+            # never announced), so acceptors are exactly the unmatched
+            # non-proposer targets.
+            ctx.begin_step(size)
+            accepted_by = np.full(size, -1, dtype=np.int64)
+            ignores = mate != -1
+            ignores[prop] = True
+            acc, chosen = replay_acceptor_choices(lanes, tgt, prop, ignores)
+            accepted_by[acc] = chosen
+            mate[acc] = chosen
+            ctx.account_groups(
+                np.full(acc.size, eight), np.ones(acc.size, np.int64)
+            )
+            ctx.end_step(True)
+            # --- round 3: confirm + announce -------------------------
+            ctx.begin_step(size)
+            succ = accepted_by[tgt] == prop
+            mate[prop[succ]] = tgt[succ]
+            matched_now = np.concatenate((prop[succ], acc))
+            ctx.account_groups(
+                np.full(matched_now.size, eight), degrees[matched_now]
+            )
+            ctx.end_step(True)
+            dead[matched_now] = True  # the broadcast lands next resume
+    ctx.begin_step(size)  # final resume: every program returns
+    return [int(x) for x in mate]
+
+
+def lps_mwm_array_batched(
+    ctx: BatchedArrayContext,
+    n: int,
+    wmax: float | np.ndarray,
+    num_classes: int,
+    phases_per_class: int,
+    he_cls: np.ndarray | None = None,
+    lane_degrees: np.ndarray | None = None,
+) -> list[list[int]]:
+    """Seed-axis batched twin of :func:`lps_mwm_array`.
+
+    The same lockstep schedule over ``(num_seeds, n)`` SoA state —
+    every lane runs exactly ``num_classes × phases_per_class × 3``
+    rounds, so no termination masking is needed and every lane's
+    ``RunResult`` is byte-identical to its single-seed run.
+
+    Two extra hooks exist for Algorithm 5's batched pipeline
+    (:func:`repro.core.weighted_mwm.weighted_mwm_batched`), where each
+    lane runs the box on its *own* derived-weight subgraph of a shared
+    topology:
+
+    * ``he_cls`` — per-lane half-edge classes, shape ``(num_seeds,
+      half_edges)``, CSR-aligned; entries ``>= num_classes`` mark
+      half-edges the lane cannot use (too light, or absent from the
+      lane's subgraph).  Defaults to classifying the shared graph's
+      weights against ``wmax`` (which may be per-lane).
+    * ``lane_degrees`` — per-lane broadcast degrees, shape
+      ``(num_seeds, n)``: the degree of each vertex *in the lane's
+      subgraph* (a ``_MATCHED`` announcement goes to all subgraph
+      neighbors, classed or not).  Defaults to the shared graph's
+      degrees.
+    """
+    g = ctx.graph
+    num_seeds, size = ctx.num_seeds, ctx.n
+    indptr, indices = ctx.indptr, ctx.indices
+    _, _, eids = g.adjacency_arrays()
+    if he_cls is None:
+        wmax_arr = np.asarray(wmax, dtype=np.float64)
+        if wmax_arr.ndim:  # per-lane wmax against the shared weights
+            he_cls = _weight_class_array(
+                g.weights_array(), wmax_arr.reshape(-1, 1)
+            )[:, eids]
+        else:
+            he_cls = np.broadcast_to(
+                _weight_class_array(g.weights_array(), float(wmax_arr))[eids],
+                (num_seeds, indices.size),
+            )
+    if lane_degrees is None:
+        lane_degrees = np.broadcast_to(g.degrees(), (num_seeds, size))
+    vhe = np.repeat(np.arange(size, dtype=np.int64), np.diff(indptr))
+    # Per-vertex neighbors sorted ascending + their CSR positions, so a
+    # proposer's candidate classes come from its lane's he_cls row.
+    snbr: list[np.ndarray] = []
+    spos: list[np.ndarray] = []
+    for v in range(size):
+        seg = np.arange(int(indptr[v]), int(indptr[v + 1]), dtype=np.int64)
+        order = np.argsort(indices[seg])
+        snbr.append(indices[seg][order])
+        spos.append(seg[order])
+    # (lane, half-edge) pairs of each class, precomputed once.
+    cls_part = [np.nonzero(he_cls == c) for c in range(num_classes)]
+    mate = np.full((num_seeds, size), -1, dtype=np.int64)
+    dead = np.zeros((num_seeds, size), dtype=bool)
+    lanes = ctx.lanes
+    eight = np.int64(8)
+    all_live = np.full(num_seeds, size, dtype=np.int64)
+    all_yield = np.ones(num_seeds, dtype=bool)
+    for cls in range(num_classes):
+        for _phase in range(phases_per_class):
+            # --- round 1: proposals ----------------------------------
+            ctx.begin_step(all_live)
+            rows_c, he_c = cls_part[cls]
+            alive_he = ~dead[rows_c, indices[he_c]]
+            cnt = np.bincount(
+                rows_c[alive_he] * size + vhe[he_c[alive_he]],
+                minlength=num_seeds * size,
+            ).reshape(num_seeds, size)
+            pr_all, pv_all = np.nonzero((mate == -1) & (cnt > 0))
+            coins = lanes.integers(0, 2, pr_all * size + pv_all)
+            picked = coins == 1
+            pr, pv = pr_all[picked], pv_all[picked]
+            idx = lanes.integers(0, cnt[pr, pv], pr * size + pv)
+            tgt = np.empty(pr.size, dtype=np.int64)
+            for k in range(pr.size):
+                s, v = int(pr[k]), int(pv[k])
+                cand = snbr[v][
+                    (he_cls[s, spos[v]] == cls) & ~dead[s, snbr[v]]
+                ]
+                tgt[k] = cand[idx[k]]
+            ctx.account_groups(
+                np.full(pr.size, eight), np.ones(pr.size, np.int64), pr
+            )
+            ctx.end_step(all_yield)
+            # --- round 2: accepts ------------------------------------
+            ctx.begin_step(all_live)
+            accepted_by = np.full((num_seeds, size), -1, dtype=np.int64)
+            mate_flat = mate.reshape(-1)
+            ignores = mate_flat != -1
+            ignores[pr * size + pv] = True
+            acc, chosen = replay_acceptor_choices(
+                lanes, pr * size + tgt, pv, ignores
+            )
+            accepted_by.reshape(-1)[acc] = chosen
+            mate_flat[acc] = chosen
+            ctx.account_groups(
+                np.full(acc.size, eight), np.ones(acc.size, np.int64),
+                acc // size,
+            )
+            ctx.end_step(all_yield)
+            # --- round 3: confirm + announce -------------------------
+            ctx.begin_step(all_live)
+            succ = accepted_by[pr, tgt] == pv
+            mate[pr[succ], pv[succ]] = tgt[succ]
+            m_rows = np.concatenate((pr[succ], acc // size))
+            m_cols = np.concatenate((pv[succ], acc % size))
+            ctx.account_groups(
+                np.full(m_rows.size, eight),
+                lane_degrees[m_rows, m_cols],
+                m_rows,
+            )
+            ctx.end_step(all_yield)
+            dead[m_rows, m_cols] = True  # broadcast lands next resume
+    ctx.begin_step(all_live)  # final resume: every program returns
+    return [[int(x) for x in row] for row in mate]
 
 
 def lps_mwm_program(
@@ -123,38 +396,83 @@ def lps_mwm_program(
     return mate
 
 
-def lps_mwm(
-    g: Graph,
-    seed: int = 0,
-    num_classes: int | None = None,
-    phases_per_class: int | None = None,
-    max_rounds: int = 10_000_000,
-) -> tuple[Matching, RunResult]:
-    """Run the weight-class δ-MWM; returns (matching, run metrics).
-
-    Defaults: ``num_classes = 2⌈log₂ n⌉ + 4`` and ``phases_per_class =
-    4⌈log₂ n⌉ + 4`` (w.h.p. maximal per class).
-    """
-    if not g.weighted:
-        raise ValueError("lps_mwm needs a weighted graph")
-    if g.m == 0:
-        return Matching(g), RunResult()
+def _lps_params(
+    g: Graph, num_classes: int | None, phases_per_class: int | None
+) -> dict[str, object]:
+    """Shared parameter resolution for every execution form."""
     wmax = max(w for _, _, w in g.iter_weighted_edges())
     log_n = max(1, math.ceil(math.log2(max(2, g.n))))
     if num_classes is None:
         num_classes = 2 * log_n + 4
     if phases_per_class is None:
         phases_per_class = 4 * log_n + 4
-    net = Network(
+    return {
+        "n": g.n,
+        "wmax": wmax,
+        "num_classes": num_classes,
+        "phases_per_class": phases_per_class,
+    }
+
+
+def lps_mwm(
+    g: Graph,
+    seed: int = 0,
+    num_classes: int | None = None,
+    phases_per_class: int | None = None,
+    max_rounds: int = 10_000_000,
+    backend: str = "generator",
+) -> tuple[Matching, RunResult]:
+    """Run the weight-class δ-MWM; returns (matching, run metrics).
+
+    Defaults: ``num_classes = 2⌈log₂ n⌉ + 4`` and ``phases_per_class =
+    4⌈log₂ n⌉ + 4`` (w.h.p. maximal per class).  ``backend`` selects
+    the execution engine (``"generator"`` or ``"array"``); both yield
+    byte-identical results from the same seed, so Algorithm 5's black
+    box runs vectorized end to end when ``"array"`` is chosen.
+    """
+    if not g.weighted:
+        raise ValueError("lps_mwm needs a weighted graph")
+    if g.m == 0:
+        return Matching(g), RunResult()
+    res = run_program(
         g,
-        lps_mwm_program,
-        params={
-            "n": g.n,
-            "wmax": wmax,
-            "num_classes": num_classes,
-            "phases_per_class": phases_per_class,
-        },
+        backend=backend,
+        generator_program=lps_mwm_program,
+        array_program=lps_mwm_array,
+        params=_lps_params(g, num_classes, phases_per_class),
         seed=seed,
+        max_rounds=max_rounds,
     )
-    res = net.run(max_rounds=max_rounds)
     return matching_from_mates(g, res.outputs), res
+
+
+def lps_mwm_batched(
+    g: Graph,
+    seeds: "Sequence[int]",
+    num_classes: int | None = None,
+    phases_per_class: int | None = None,
+    max_rounds: int = 10_000_000,
+    backend: str = "array",
+) -> list[tuple[Matching, RunResult]]:
+    """Run the weight-class δ-MWM once per seed as one batched execution.
+
+    ``backend="array"`` (default) executes the whole batch as one
+    :class:`~repro.distributed.backends.BatchedArrayBackend` run;
+    ``"generator"`` falls back to one ``Network`` per seed.  Both
+    return per-seed ``(Matching, RunResult)`` pairs identical to
+    ``[lps_mwm(g, seed=s) for s in seeds]``.
+    """
+    if not g.weighted:
+        raise ValueError("lps_mwm needs a weighted graph")
+    if g.m == 0:
+        return [(Matching(g), RunResult()) for _ in seeds]
+    results = run_program_batched(
+        g,
+        backend=backend,
+        generator_program=lps_mwm_program,
+        batched_array_program=lps_mwm_array_batched,
+        params=_lps_params(g, num_classes, phases_per_class),
+        seeds=seeds,
+        max_rounds=max_rounds,
+    )
+    return [(matching_from_mates(g, res.outputs), res) for res in results]

@@ -94,15 +94,16 @@ def luby_mis_array(ctx: ArrayContext, n: int) -> list[bool]:
     exactly its live neighbors, because withdrawers announce ``_OUT``
     and MIS winners eliminate their whole neighborhood in the same
     phase — so each 3-resume phase is a handful of CSR segment
-    reductions.  Only the draw of each node's random number stays a
-    Python loop, consuming the node RNG streams exactly as the
-    generator program does.
+    reductions.  The random numbers come from ``ctx.lanes``, whose
+    per-node streams replicate the generator program's draws bit for
+    bit but batch a whole resume's draws into one array call (ISSUE 5
+    removed the last per-node Python draw loop).
     """
     size = ctx.n
     outputs: list[bool | None] = [None] * size
     alive = np.ones(size, dtype=bool)
     hi = max(2, n) ** 4
-    rngs = ctx.rngs
+    lanes = ctx.lanes
     while alive.any():
         # Resume A: withdrawals from last phase are already folded into
         # ``alive``; isolated-in-the-residual nodes join and return.
@@ -116,9 +117,7 @@ def luby_mis_array(ctx: ArrayContext, n: int) -> list[bool]:
         senders = live[live_deg[live] > 0]
         if senders.size == 0:
             break  # everyone returned without yielding: no round counted
-        numbers = np.empty(senders.size, dtype=np.int64)
-        for i, v in enumerate(senders.tolist()):
-            numbers[i] = rngs[v].integers(1, hi + 1)
+        numbers = lanes.integers(1, hi + 1, senders)
         ctx.account_groups(int_payload_bits(numbers), live_deg[senders])
         ctx.end_step(True)
         # Resume B: a node wins iff its number beats every live

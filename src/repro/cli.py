@@ -13,11 +13,14 @@ Gives downstream users the paper's algorithms without writing Python:
 
 Every command prints the matching size/weight, the exact optimum, the
 achieved ratio, and the measured distributed cost.  ``generic``,
-``baselines``, and ``scenarios`` accept ``--backend {generator,array}``
-to pick the execution engine (results are seed-identical either way;
-only the wall clock changes), and ``scenarios`` additionally accepts
-``--seed-batch K`` to dispatch each cell's seeds in chunks of K — one
-process-level task per chunk instead of one call per seed.
+``weighted``, ``baselines``, and ``scenarios`` accept ``--backend
+{generator,array}`` to pick the execution engine (results are
+seed-identical either way; only the wall clock changes) — since ISSUE
+5 this covers the whole weighted pipeline: Algorithm 5, its LPS-style
+black box, and the k-opt reference all run vectorized under
+``array``.  ``scenarios`` additionally accepts ``--seed-batch K`` to
+dispatch each cell's seeds in chunks of K — one process-level task per
+chunk instead of one call per seed.
 """
 
 from __future__ import annotations
@@ -87,9 +90,12 @@ def cmd_weighted(args) -> int:
     g = assign_uniform_weights(
         gnp_random(args.n, args.p, seed=args.seed), seed=args.seed
     )
-    m, res, iters = weighted_mwm(g, eps=args.eps, seed=args.seed)
+    m, res, iters = weighted_mwm(
+        g, eps=args.eps, seed=args.seed, backend=args.backend
+    )
     opt = maximum_matching_weight(g)
-    print(f"weighted G(n,p): {g.n} vertices, {g.m} edges")
+    print(f"weighted G(n,p): {g.n} vertices, {g.m} edges "
+          f"({args.backend} backend)")
     _print_result(f"weighted_mwm (Thm 4.5, eps={args.eps})", m.weight(), opt, res)
     print(f"  black-box iterations: {iters}")
     return 0
@@ -103,7 +109,7 @@ def cmd_baselines(args) -> int:
     rows = []
     ii, res = israeli_itai_matching(g, seed=args.seed, backend=args.backend)
     rows.append(["Israeli-Itai (1/2-MCM)", len(ii), opt, len(ii) / opt, res.rounds])
-    lm, res = lps_mwm(gw, seed=args.seed)
+    lm, res = lps_mwm(gw, seed=args.seed, backend=args.backend)
     rows.append(["LPS-style (1/4-MWM)", round(lm.weight(), 1), round(wopt, 1),
                  lm.weight() / wopt, res.rounds])
     li, res = lps_interleaved_mwm(gw, seed=args.seed, backend=args.backend)
@@ -289,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("weighted", help="Theorem 4.5 on weighted G(n,p)")
     common(sp, n=50, pdef=0.1)
     sp.add_argument("--eps", type=float, default=0.1)
+    backend_opt(sp)
     sp.set_defaults(fn=cmd_weighted)
 
     sp = sub.add_parser("baselines", help="run all prior-work baselines")

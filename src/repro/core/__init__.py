@@ -24,12 +24,21 @@ from repro.core.bipartite_mcm import (
 from repro.core.general_mcm import general_mcm, fidelity_iterations
 from repro.core.weighted_mwm import (
     apply_wraps,
+    apply_wraps_array,
     derived_weights,
+    derived_weights_array,
     weighted_mwm,
+    weighted_mwm_array,
+    weighted_mwm_batched,
     weighted_mwm_reference,
     wrap_path,
 )
-from repro.core.kopt_mwm import find_gain_augmentations, kopt_mwm
+from repro.core.kopt_mwm import (
+    find_gain_augmentations,
+    find_gain_augmentations_array,
+    kopt_mwm,
+    kopt_mwm_array,
+)
 
 __all__ = [
     "build_conflict_graph",
@@ -42,10 +51,16 @@ __all__ = [
     "general_mcm",
     "fidelity_iterations",
     "apply_wraps",
+    "apply_wraps_array",
     "derived_weights",
+    "derived_weights_array",
     "weighted_mwm",
+    "weighted_mwm_array",
+    "weighted_mwm_batched",
     "weighted_mwm_reference",
     "wrap_path",
     "find_gain_augmentations",
+    "find_gain_augmentations_array",
     "kopt_mwm",
+    "kopt_mwm_array",
 ]

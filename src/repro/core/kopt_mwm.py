@@ -23,9 +23,19 @@ make no distributed claim for it):
   positive-gain disjoint set until none remains.  Terminates (weight
   strictly increases and the instance has finitely many matchings) at
   a k-optimal matching with the bound above.
+
+Two evaluation paths (ISSUE 5): the enumeration order is shared, but
+gains can be computed per candidate walk (the scalar reference) or for
+*all* enumerated walks in one vectorized pass with the batch applied
+as bulk mate surgery (``backend="array"`` / :func:`kopt_mwm_array`) —
+identical results, bit for bit, pinned by the seed-identity goldens.
 """
 
 from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.matching.matching import Matching
@@ -40,32 +50,29 @@ def _gain(g: Graph, m: Matching, edges: list[tuple[int, int]]) -> float:
     return total
 
 
-def find_gain_augmentations(
+def _canonical(edges: list[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    return tuple(sorted(tuple(sorted(e)) for e in edges))
+
+
+def _alternating_walks(
     g: Graph, m: Matching, k: int
-) -> list[tuple[float, tuple[tuple[int, int], ...]]]:
-    """All positive-gain alternating paths/cycles with ≤ k unmatched edges.
+) -> Iterator[list[tuple[int, int]]]:
+    """All candidate alternating walks, in deterministic DFS order.
 
-    Returns ``(gain, edge-tuple)`` pairs, gain-descending.  An
-    *augmentation* here is any edge set whose symmetric difference
-    with M is again a matching: alternating paths (either endpoint may
-    be matched or free — ends on matched edges shrink M there) and
-    alternating even cycles.
+    Yields every edge list the augmentation search must price — each
+    in its walk order, so a gain evaluated over it reproduces the
+    sequential float accumulation of :func:`_gain` regardless of how
+    the pricing is batched.  An *augmentation* here is any edge set
+    whose symmetric difference with M is again a matching: alternating
+    paths (either endpoint may be matched or free — ends on matched
+    edges shrink M there) and alternating even cycles.
+
+    DFS over alternating simple walks.  Validity of M ⊕ P is a pure
+    endpoint condition: a *path* is valid iff each endpoint whose
+    terminal edge is unmatched is free (otherwise that vertex would
+    end up doubly covered); ends on matched edges and alternating
+    even cycles are always valid.
     """
-    found: dict[tuple[tuple[int, int], ...], float] = {}
-
-    def canonical(edges: list[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
-        return tuple(sorted(tuple(sorted(e)) for e in edges))
-
-    def consider(edges: list[tuple[int, int]]) -> None:
-        gain = _gain(g, m, edges)
-        if gain > 1e-12:
-            found[canonical(edges)] = gain
-
-    # DFS over alternating simple walks.  Validity of M ⊕ P is a pure
-    # endpoint condition: a *path* is valid iff each endpoint whose
-    # terminal edge is unmatched is free (otherwise that vertex would
-    # end up doubly covered); ends on matched edges and alternating
-    # even cycles are always valid.
     for start in range(g.n):
         stack: list[tuple[list[int], bool, int]] = []
         # First edge unmatched (only from a free start) or matched.
@@ -85,11 +92,10 @@ def find_gain_augmentations(
                     # (alternation at the shared vertex).
                     first_matched = m.is_matched_edge(path[0], path[1])
                     if want_matched != first_matched:
-                        edges = [
+                        yield [
                             (path[i], path[i + 1])
                             for i in range(len(path) - 1)
                         ] + [(v, u)]
-                        consider(edges)
                     continue
                 if u in path:
                     continue
@@ -100,21 +106,105 @@ def find_gain_augmentations(
                 # Endpoint condition at u for the path to be applicable
                 # as-is: unmatched terminal edge needs u free.
                 if want_matched or m.is_free(u):
-                    consider(
-                        [
-                            (new_path[i], new_path[i + 1])
-                            for i in range(len(new_path) - 1)
-                        ]
-                    )
+                    yield [
+                        (new_path[i], new_path[i + 1])
+                        for i in range(len(new_path) - 1)
+                    ]
                 stack.append((new_path, not want_matched, new_used))
+
+
+def _rank(
+    walks: list[list[tuple[int, int]]], gains: "np.ndarray | list[float]"
+) -> list[tuple[float, tuple[tuple[int, int], ...]]]:
+    """Shared tail of both pricing paths: threshold, dedup, sort.
+
+    Walks are replayed in enumeration order; a walk whose gain clears
+    the float-noise threshold overwrites its canonical form's entry
+    (later walk orders of the same edge set may carry a slightly
+    different float sum — last positive writer wins, as the historic
+    inline accumulation did).
+    """
+    found: dict[tuple[tuple[int, int], ...], float] = {}
+    for walk, gain in zip(walks, gains):
+        if gain > 1e-12:
+            found[_canonical(walk)] = float(gain)
     return sorted(
         ((gain, edges) for edges, gain in found.items()),
         key=lambda t: (-t[0], t[1]),
     )
 
 
+def find_gain_augmentations(
+    g: Graph, m: Matching, k: int
+) -> list[tuple[float, tuple[tuple[int, int], ...]]]:
+    """All positive-gain alternating paths/cycles with ≤ k unmatched edges.
+
+    Returns ``(gain, edge-tuple)`` pairs, gain-descending — the scalar
+    reference pricing (one :func:`_gain` accumulation per walk).
+    """
+    walks = list(_alternating_walks(g, m, k))
+    return _rank(walks, [_gain(g, m, w) for w in walks])
+
+
+def find_gain_augmentations_array(
+    g: Graph, m: Matching, k: int
+) -> list[tuple[float, tuple[tuple[int, int], ...]]]:
+    """Vectorized pricing twin of :func:`find_gain_augmentations`.
+
+    The enumeration (and therefore the candidate set) is shared; the
+    per-walk weight lookups collapse into one gather over the
+    edge-weight array.  The ± accumulation runs position by position
+    across all walks at once — walk position ``p`` is added to every
+    walk still that long in one array op — which reproduces the scalar
+    left-to-right float sum *bit for bit* (``reduceat`` would not: its
+    in-segment summation is pairwise, and near-tied gains then sort
+    differently than the scalar path).  Walks have at most ``2k + 1``
+    edges, so the position loop is a handful of iterations.
+    """
+    walks = list(_alternating_walks(g, m, k))
+    if not walks:
+        return []
+    lo, hi = g.endpoints_array()
+    keys = lo * np.int64(g.n) + hi
+    order = np.argsort(keys)
+    skeys = keys[order]
+    mate = m.mate_array()
+    flat = np.asarray(
+        [e for walk in walks for e in walk], dtype=np.int64
+    )
+    u = np.minimum(flat[:, 0], flat[:, 1])
+    v = np.maximum(flat[:, 0], flat[:, 1])
+    eids = order[np.searchsorted(skeys, u * np.int64(g.n) + v)]
+    vals = np.where(mate[u] == v, -1.0, 1.0) * g.weights_array()[eids]
+    lengths = np.fromiter(
+        (len(w) for w in walks), dtype=np.int64, count=len(walks)
+    )
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    gains = np.zeros(len(walks), dtype=np.float64)
+    for pos in range(int(lengths.max())):
+        alive = lengths > pos
+        gains[alive] += vals[starts[alive] + pos]
+    return _rank(walks, gains)
+
+
+def _apply_batch_array(
+    m: Matching, batch: list[tuple[int, int]]
+) -> Matching:
+    """``M ⊕ batch`` as bulk mate surgery (validated on construction)."""
+    mate = m.mate_array()
+    arr = np.asarray(batch, dtype=np.int64).reshape(-1, 2)
+    u, v = arr[:, 0], arr[:, 1]
+    toggled_off = mate[u] == v
+    mate[u[toggled_off]] = -1
+    mate[v[toggled_off]] = -1
+    au, av = u[~toggled_off], v[~toggled_off]
+    mate[au] = av
+    mate[av] = au
+    return Matching.from_mate_array(m.graph, mate)
+
+
 def kopt_mwm(
-    g: Graph, k: int = 2, max_passes: int = 10_000
+    g: Graph, k: int = 2, max_passes: int = 10_000, backend: str = "generator"
 ) -> tuple[Matching, int]:
     """Local-search (1 − 1/(k+1))-MWM via ≤k-unmatched-edge augmentations.
 
@@ -125,15 +215,29 @@ def kopt_mwm(
     For k = 1 this is 3-augmentation-optimality (the ½ of Lemma 4.2's
     k=1 case, i.e. what Algorithm 5 converges to); k = 2 gives 2/3,
     k = 3 gives 3/4, matching the (2/3−ε) of [7]/[24] and beyond.
+
+    ``backend`` keeps the layer-4 routing names: ``"generator"`` is
+    the scalar reference (kopt is centralized — there is no network —
+    so the name only marks the unvectorized path), ``"array"`` prices
+    all candidate walks in one vectorized pass and applies each batch
+    as bulk mate surgery.  Both produce identical matchings and pass
+    counts.
     """
     if not g.weighted:
         raise ValueError("kopt_mwm needs a weighted graph")
     if k < 1:
         raise ValueError("k must be >= 1")
+    if backend not in ("generator", "array"):
+        raise ValueError(f"unknown backend {backend!r}")
+    finder = (
+        find_gain_augmentations_array
+        if backend == "array"
+        else find_gain_augmentations
+    )
     m = Matching(g)
     passes = 0
     for passes in range(1, max_passes + 1):
-        candidates = find_gain_augmentations(g, m, k)
+        candidates = finder(g, m, k)
         if not candidates:
             break
         used: set[int] = set()
@@ -144,7 +248,17 @@ def kopt_mwm(
                 continue
             used |= verts
             batch.extend(edges)
-        m = m.symmetric_difference(batch)
+        if backend == "array":
+            m = _apply_batch_array(m, batch)
+        else:
+            m = m.symmetric_difference(batch)
     else:
         raise RuntimeError("kopt_mwm failed to converge")
     return m, passes
+
+
+def kopt_mwm_array(
+    g: Graph, k: int = 2, max_passes: int = 10_000
+) -> tuple[Matching, int]:
+    """``kopt_mwm(..., backend="array")`` under the porting-convention name."""
+    return kopt_mwm(g, k=k, max_passes=max_passes, backend="array")

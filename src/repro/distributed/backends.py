@@ -161,6 +161,58 @@ def segment_bounds(sorted_keys: np.ndarray) -> np.ndarray:
     return np.append(heads, sorted_keys.size)
 
 
+def replay_acceptor_choices(
+    lanes: LaneRngs,
+    keys: np.ndarray,
+    srcs: np.ndarray,
+    skip: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Replay every acceptor's ``choice(sorted(proposals))`` in bulk.
+
+    The proposal-acceptance idiom shared by the Israeli–Itai and
+    weight-class LPS array programs (single-seed and batched): group
+    the proposals by target, drop targets whose nodes ignore proposals
+    this round, and draw each remaining target's uniform pick — one
+    bulk bounded lane draw, selection per group.
+
+    ``keys[i]`` is proposal ``i``'s target as a flat lane id
+    (``seed_index * n + vertex``; plain vertex ids when single-seed),
+    ``srcs[i]`` its proposer vertex, and ``skip`` a bool array indexed
+    by flat lane id marking targets that ignore proposals (proposers,
+    and — where the protocol allows matched targets to be addressed —
+    matched nodes).  Proposals must arrive with ascending ``srcs`` per
+    target (callers enumerate proposers in index order), so the stable
+    per-key sort reproduces the generator program's ``sorted(
+    proposals)`` candidate order.  Returns ``(acceptors, chosen)`` —
+    the accepting flat lane ids (ascending) and each one's selected
+    proposer.
+    """
+    order = np.argsort(keys, kind="stable")  # per-target, src ascending
+    sorted_keys = keys[order]
+    sorted_srcs = srcs[order]
+    bounds = segment_bounds(sorted_keys)
+    acc: list[int] = []
+    acc_off: list[int] = []
+    acc_cnt: list[int] = []
+    for k in range(bounds.size - 1):
+        b0 = int(bounds[k])
+        key = int(sorted_keys[b0])
+        if skip[key]:
+            continue
+        acc.append(key)
+        acc_off.append(b0)
+        acc_cnt.append(int(bounds[k + 1]) - b0)
+    acceptors = np.asarray(acc, dtype=np.int64)
+    chosen = np.empty(acceptors.size, dtype=np.int64)
+    if acceptors.size:
+        aidx = lanes.integers(
+            0, np.asarray(acc_cnt, dtype=np.int64), acceptors
+        )
+        for k in range(acceptors.size):
+            chosen[k] = int(sorted_srcs[acc_off[k] + aidx[k]])
+    return acceptors, chosen
+
+
 class ArrayContext:
     """Execution context handed to an array program.
 
@@ -180,6 +232,7 @@ class ArrayContext:
         "_limit",
         "_seed",
         "_rngs",
+        "_lanes",
     )
 
     def __init__(
@@ -200,6 +253,7 @@ class ArrayContext:
         self._limit = limit
         self._seed = seed
         self._rngs: list[np.random.Generator] | None = None
+        self._lanes: LaneRngs | None = None
 
     @property
     def rngs(self) -> list[np.random.Generator]:
@@ -212,6 +266,24 @@ class ArrayContext:
             seq = np.random.SeedSequence(self._seed)
             self._rngs = [np.random.default_rng(c) for c in seq.spawn(self.n)]
         return self._rngs
+
+    @property
+    def lanes(self) -> LaneRngs:
+        """The same per-node streams as :attr:`rngs`, as bulk RNG lanes.
+
+        A single-seed :class:`~repro.distributed.batch_rng.LaneRngs`
+        whose lane ``v`` replicates ``rngs[v]`` bit for bit, so an
+        array program can draw one resume's coins / choice indices for
+        *all* drawing nodes in a few array ops instead of a per-node
+        Python loop (the RNG-replay cost that capped Israeli–Itai's
+        single-run array speedup — see ARCHITECTURE.md).  A program
+        must draw each node's stream through either :attr:`rngs` or
+        :attr:`lanes`, never both: the two objects do not share
+        stream positions.
+        """
+        if self._lanes is None:
+            self._lanes = LaneRngs([self._seed], self.n)
+        return self._lanes
 
     # -- lockstep accounting ------------------------------------------
 
@@ -264,15 +336,21 @@ class ArrayContext:
     def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
         """Per-vertex count of neighbors with ``mask`` set (``int64[n]``).
 
-        One cumulative sum over the half-edge array, differenced at the
-        ``indptr`` boundaries.
+        One ``reduceat`` over the gathered half-edge mask (measurably
+        cheaper than the historic cumsum-and-difference at every mask
+        density), with the usual empty-segment repair.
         """
         if self.indices.size == 0:
             return np.zeros(self.n, dtype=np.int64)
-        csum = np.concatenate(
-            ([0], np.cumsum(mask[self.indices], dtype=np.int64))
+        # A zero sentinel keeps every ``indptr`` start in range without
+        # clamping (a clamp would shift the boundary of the last
+        # non-empty segment when trailing vertices have degree 0).
+        gathered = np.concatenate(
+            (mask[self.indices].astype(np.int64), [np.int64(0)])
         )
-        return csum[self.indptr[1:]] - csum[self.indptr[:-1]]
+        out = np.add.reduceat(gathered, self.indptr[:-1])
+        out[self.indptr[:-1] == self.indptr[1:]] = 0
+        return out
 
     def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
         """Per-vertex "some neighbor has ``mask`` set" (``bool[n]``)."""
@@ -284,17 +362,19 @@ class ArrayContext:
         """Per-vertex max of ``values`` over (optionally masked) neighbors.
 
         Vertices with no (masked) neighbors get 0; ``values`` must be
-        nonnegative.  ``reduceat`` over the CSR segments; empty
-        segments are patched afterwards because ``reduceat`` yields the
-        next segment's head for them.
+        nonnegative.  ``reduceat`` over the CSR segments, with a zero
+        sentinel appended so trailing degree-0 vertices keep every
+        start in range without shifting the last non-empty segment's
+        boundary; empty segments are patched afterwards because
+        ``reduceat`` yields the element at their start index.
         """
         if self.indices.size == 0:
             return np.zeros(self.n, dtype=values.dtype)
         vals = values[self.indices]
         if mask is not None:
             vals = np.where(mask[self.indices], vals, 0)
-        starts = np.minimum(self.indptr[:-1], self.indices.size - 1)
-        out = np.maximum.reduceat(vals, starts)
+        vals = np.concatenate((vals, np.zeros(1, dtype=vals.dtype)))
+        out = np.maximum.reduceat(vals, self.indptr[:-1])
         out[self.indptr[:-1] == self.indptr[1:]] = 0
         return out
 
@@ -346,15 +426,19 @@ class ArrayBackend:
         self._ran = False
 
     def prepare(self) -> "ArrayBackend":
-        """Eagerly do the per-node setup (RNG spawn) and return self.
+        """Eagerly do the per-node RNG setup and return self.
 
-        ``Network`` pays this O(n) cost in its constructor; the array
-        context spawns lazily so programs that never draw skip it.
-        Benchmarks call ``prepare()`` to keep setup out of timed
-        round-loop sections, making the two backends' ``run`` timings
-        directly comparable.
+        ``Network`` pays the per-node stream spawn in its constructor;
+        the array context spawns lazily so programs that never draw
+        skip it.  Benchmarks call ``prepare()`` to keep setup out of
+        timed round-loop sections, making the two backends' ``run``
+        timings directly comparable.  The lane-drawing ports (Luby,
+        Israeli–Itai, the weight-class LPS box) warm the cheap
+        vectorized :attr:`ArrayContext.lanes`; ports still replaying
+        through real per-node Generators (``ctx.rngs``) pay that spawn
+        inside ``run``, as ``Network`` pays it inside its constructor.
         """
-        _ = self._ctx.rngs
+        _ = self._ctx.lanes
         return self
 
     def run(self, max_rounds: int = 1_000_000) -> RunResult:
@@ -544,16 +628,24 @@ class BatchedArrayContext:
     def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
         """Per-(seed, vertex) count of neighbors with ``mask`` set.
 
-        ``mask`` is ``bool[num_seeds, n]``; one cumulative sum per seed
-        row over the shared half-edge array, differenced at ``indptr``.
+        ``mask`` is ``bool[num_seeds, n]``; one ``reduceat`` per seed
+        row over the shared half-edge array (cheaper than the historic
+        per-row cumsum at every mask density), with the usual
+        empty-segment repair.
         """
         if self.indices.size == 0:
             return np.zeros((self.num_seeds, self.n), dtype=np.int64)
-        csum = np.cumsum(mask[:, self.indices], axis=1, dtype=np.int64)
-        csum = np.concatenate(
-            [np.zeros((self.num_seeds, 1), dtype=np.int64), csum], axis=1
+        # Zero-sentinel column: see :meth:`ArrayContext.masked_degrees`.
+        gathered = np.concatenate(
+            (
+                mask[:, self.indices].astype(np.int64),
+                np.zeros((self.num_seeds, 1), dtype=np.int64),
+            ),
+            axis=1,
         )
-        return csum[:, self.indptr[1:]] - csum[:, self.indptr[:-1]]
+        out = np.add.reduceat(gathered, self.indptr[:-1], axis=1)
+        out[:, self.indptr[:-1] == self.indptr[1:]] = 0
+        return out
 
     def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
         """Per-(seed, vertex) "some neighbor has ``mask`` set"."""
@@ -566,15 +658,18 @@ class BatchedArrayContext:
 
         ``values`` is ``(num_seeds, n)`` and must be nonnegative;
         vertices with no (masked) neighbors get 0, with the same
-        empty-segment repair as :meth:`ArrayContext.neighbor_max`.
+        zero-sentinel and empty-segment repair as
+        :meth:`ArrayContext.neighbor_max`.
         """
         if self.indices.size == 0:
             return np.zeros((self.num_seeds, self.n), dtype=values.dtype)
         vals = values[:, self.indices]
         if mask is not None:
             vals = np.where(mask[:, self.indices], vals, 0)
-        starts = np.minimum(self.indptr[:-1], self.indices.size - 1)
-        out = np.maximum.reduceat(vals, starts, axis=1)
+        vals = np.concatenate(
+            (vals, np.zeros((self.num_seeds, 1), dtype=vals.dtype)), axis=1
+        )
+        out = np.maximum.reduceat(vals, self.indptr[:-1], axis=1)
         out[:, self.indptr[:-1] == self.indptr[1:]] = 0
         return out
 

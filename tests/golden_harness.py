@@ -150,6 +150,21 @@ def compute_goldens() -> dict[str, Any]:
     m, res = lps_mwm(g_w, seed=9)
     out["lps_mwm/gnp20w"] = {"edges": _edges(m), "res": _res_dict(res)}
 
+    # ISSUE 5 cells: a second weight distribution for the weight-class
+    # box, and Algorithm 5 over the interleaved box (both captured from
+    # the generator engine, matched byte-for-byte by the array ports).
+    g_baw = assign_uniform_weights(g_ba, seed=8)
+    m, res = lps_mwm(g_baw, seed=11)
+    out["lps_mwm/ba30w"] = {"edges": _edges(m), "res": _res_dict(res)}
+
+    m, res, iters = weighted_mwm(g_w, eps=0.3, seed=7, box="interleaved")
+    out["weighted_mwm_interleaved/gnp20w"] = {
+        "edges": _edges(m),
+        "weight": m.weight(),
+        "iterations": iters,
+        "res": _res_dict(res),
+    }
+
     m, res = lps_interleaved_mwm(g_w, seed=9)
     out["lps_interleaved/gnp20w"] = {"edges": _edges(m), "res": _res_dict(res)}
 

@@ -67,10 +67,21 @@ class TestBackendRouting:
 
     def test_unported_algo_falls_back_to_generator(self):
         rec = run_scenario_cell(
-            "gnp", "weighted_mwm", size=12, seed=0, backend="array"
+            "gnp", "general_mcm", size=12, seed=0, backend="array"
         )
         assert rec["array_backend"] == 0.0
+        assert rec["fallback_algo"] == "general_mcm"
         assert rec["ok"] == 1.0
+
+    def test_weighted_rows_run_on_the_array_backend(self):
+        # ISSUE 5: the weighted rows no longer fall back.
+        for algo in ("weighted_mwm", "lps_mwm", "kopt_mwm"):
+            rec = run_scenario_cell("gnp", algo, size=12, seed=0, backend="array")
+            assert rec["array_backend"] == 1.0, algo
+            assert "fallback_algo" not in rec, algo
+            assert rec["ok"] == 1.0, algo
+            ref = run_scenario_cell("gnp", algo, size=12, seed=0)
+            assert rec["value"] == ref["value"] and rec["ratio"] == ref["ratio"]
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):

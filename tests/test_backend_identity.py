@@ -2,9 +2,11 @@
 
 The ISSUE 3 acceptance bar: for every ported algorithm (Luby MIS,
 Israeli–Itai, generic_mcm — joined in ISSUE 4 by the Cole–Vishkin ring
-pipeline and the interleaved LPS matching), the array backend must
-produce a ``RunResult`` byte-identical to the generator backend's from
-the same seed — asserted two ways:
+pipeline and the interleaved LPS matching, and in ISSUE 5 by the whole
+weighted pipeline: the weight-class LPS box, Algorithm 5 over either
+box, and the k-opt reference), the array backend must produce a
+``RunResult`` byte-identical to the generator backend's from the same
+seed — asserted two ways:
 
 * directly, ``RunResult`` dataclass equality (rounds, messages, bits,
   peak, outputs) across graph families and seeds;
@@ -20,8 +22,11 @@ import pytest
 from repro.baselines.cole_vishkin import ring_coloring, ring_maximal_matching
 from repro.baselines.israeli_itai import israeli_itai_matching
 from repro.baselines.lps_interleaved import lps_interleaved_mwm
+from repro.baselines.lps_mwm import lps_mwm
 from repro.baselines.luby_mis import luby_mis, verify_mis
 from repro.core.generic_mcm import generic_mcm
+from repro.core.kopt_mwm import kopt_mwm, kopt_mwm_array
+from repro.core.weighted_mwm import weighted_mwm, weighted_mwm_array
 from repro.graphs import (
     Graph,
     barabasi_albert,
@@ -49,6 +54,9 @@ GRAPHS = {
     "crown": crown_graph(5)[0],
     "empty": Graph(6),
     "isolated": Graph(8, [(0, 1), (2, 3)]),
+    # Trailing degree-0 vertices after a degree->=2 vertex: the shape
+    # that exposed the clamped-reduceat truncation (ISSUE 5 review).
+    "tail_isolated": Graph(6, [(0, 1), (0, 2), (1, 2)]),
 }
 
 
@@ -112,6 +120,54 @@ class TestLpsInterleavedEquivalence:
         m_a, res_a = lps_interleaved_mwm(g, seed=seed, backend="array")
         assert sorted(m_g.edges()) == sorted(m_a.edges())
         assert res_g == res_a
+
+
+@pytest.mark.parametrize("seed", [0, 1, 9])
+@pytest.mark.parametrize("name", ["gnp", "ba", "star", "isolated"])
+class TestLpsMwmEquivalence:
+    def test_lps_mwm(self, name, seed):
+        g = assign_uniform_weights(GRAPHS[name], seed=seed + 1)
+        m_g, res_g = lps_mwm(g, seed=seed)
+        m_a, res_a = lps_mwm(g, seed=seed, backend="array")
+        assert sorted(m_g.edges()) == sorted(m_a.edges())
+        assert res_g == res_a
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+@pytest.mark.parametrize("name", ["gnp", "ba", "cycle"])
+class TestWeightedMwmEquivalence:
+    """Algorithm 5 end to end: kernel + box + wrap surgery, both boxes."""
+
+    def test_sequential_box(self, name, seed):
+        g = assign_uniform_weights(GRAPHS[name], seed=seed + 1)
+        m_g, res_g, it_g = weighted_mwm(g, eps=0.3, seed=seed)
+        m_a, res_a, it_a = weighted_mwm(g, eps=0.3, seed=seed, backend="array")
+        assert sorted(m_g.edges()) == sorted(m_a.edges())
+        assert res_g == res_a
+        assert it_g == it_a
+
+    def test_interleaved_box_adaptive(self, name, seed):
+        g = assign_uniform_weights(GRAPHS[name], seed=seed + 1)
+        m_g, res_g, it_g = weighted_mwm(
+            g, eps=0.3, seed=seed, box="interleaved", adaptive=True
+        )
+        m_a, res_a, it_a = weighted_mwm_array(
+            g, eps=0.3, seed=seed, box="interleaved", adaptive=True
+        )
+        assert sorted(m_g.edges()) == sorted(m_a.edges())
+        assert res_g == res_a
+        assert it_g == it_a
+
+
+@pytest.mark.parametrize("k", [1, 2])
+@pytest.mark.parametrize("name", ["gnp", "ba", "crown", "isolated"])
+class TestKoptEquivalence:
+    def test_kopt(self, name, k):
+        g = assign_uniform_weights(GRAPHS[name], seed=k)
+        m_s, p_s = kopt_mwm(g, k=k)
+        m_a, p_a = kopt_mwm_array(g, k=k)
+        assert sorted(m_s.edges()) == sorted(m_a.edges())
+        assert p_s == p_a
 
 
 class TestArrayBackendMatchesGoldens:
@@ -194,4 +250,52 @@ class TestArrayBackendMatchesGoldens:
                 "mis_sizes": {str(k): v for k, v in sorted(stats.mis_sizes.items())},
                 "res": _res_dict(stats.result),
             },
+        )
+
+    def test_lps_mwm_cells(self, golden):
+        g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+        m, res = lps_mwm(g_w, seed=9, backend="array")
+        self._assert_cell(
+            golden, "lps_mwm/gnp20w", {"edges": _edges(m), "res": _res_dict(res)}
+        )
+        g_baw = assign_uniform_weights(barabasi_albert(30, 2, seed=2), seed=8)
+        m, res = lps_mwm(g_baw, seed=11, backend="array")
+        self._assert_cell(
+            golden, "lps_mwm/ba30w", {"edges": _edges(m), "res": _res_dict(res)}
+        )
+
+    def test_weighted_mwm_cells(self, golden):
+        g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+        m, res, iters = weighted_mwm(g_w, eps=0.3, seed=7, backend="array")
+        self._assert_cell(
+            golden,
+            "weighted_mwm/gnp20w",
+            {
+                "edges": _edges(m),
+                "weight": m.weight(),
+                "iterations": iters,
+                "res": _res_dict(res),
+            },
+        )
+        m, res, iters = weighted_mwm(
+            g_w, eps=0.3, seed=7, box="interleaved", backend="array"
+        )
+        self._assert_cell(
+            golden,
+            "weighted_mwm_interleaved/gnp20w",
+            {
+                "edges": _edges(m),
+                "weight": m.weight(),
+                "iterations": iters,
+                "res": _res_dict(res),
+            },
+        )
+
+    def test_kopt_cell(self, golden):
+        g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+        m, passes = kopt_mwm_array(g_w, k=2)
+        self._assert_cell(
+            golden,
+            "kopt_mwm/gnp20w",
+            {"edges": _edges(m), "weight": m.weight(), "passes": passes},
         )

@@ -1,0 +1,224 @@
+"""Property tests for the weighted array kernels (ISSUE 5).
+
+The vectorized derived-weights kernel must agree with the scalar
+``wrap_path``/``g(P)`` definitions *bit for bit* on arbitrary graphs
+and matchings — including length-1 and length-2 wraps (one or both
+wrap endpoints free), isolated vertices, and float-noise edges whose
+derived weight sits right at the ``_EPS_W`` threshold.  The bulk
+wrap-augmentation and the vectorized weight-class helper get the same
+treatment against their scalar twins.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lps_mwm import _weight_class, _weight_class_array
+from repro.core.weighted_mwm import (
+    _EPS_W,
+    apply_wraps,
+    apply_wraps_array,
+    derived_weights,
+    derived_weights_array,
+    wrap_gain,
+    wrap_path,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.generators import gnp_random
+from repro.graphs.weights import assign_uniform_weights
+from repro.matching.matching import Matching
+
+from tests.conftest import matchable
+
+_slow = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _weighted(g: Graph, seed: int) -> Graph:
+    return assign_uniform_weights(g, seed=seed) if g.m else g.with_weights([])
+
+
+class TestDerivedWeightsKernel:
+    @given(matchable(max_n=12), st.integers(min_value=0, max_value=99))
+    @_slow
+    def test_kernel_equals_wrap_gain_per_edge(self, gm, wseed):
+        g0, edges = gm
+        g = _weighted(g0, wseed)
+        m = Matching(g, edges)
+        wm = derived_weights_array(g, m.mate_array())
+        lo, hi = g.endpoints_array()
+        for eid in range(g.m):
+            u, v = int(lo[eid]), int(hi[eid])
+            if m.is_matched_edge(u, v):
+                assert wm[eid] == 0.0
+            else:
+                # Bit-identical to the scalar definition, and the wrap
+                # it prices has between 1 and 3 edges.
+                assert wm[eid] == wrap_gain(g, m, u, v)
+                assert 1 <= len(wrap_path(m, u, v)) <= 3
+
+    @given(matchable(max_n=12), st.integers(min_value=0, max_value=99))
+    @_slow
+    def test_list_view_matches_kernel(self, gm, wseed):
+        g0, edges = gm
+        g = _weighted(g0, wseed)
+        m = Matching(g, edges)
+        assert derived_weights(g, m) == derived_weights_array(
+            g, m.mate_array()
+        ).tolist()
+
+    @given(matchable(max_n=10), st.integers(min_value=0, max_value=9),
+           st.integers(min_value=2, max_value=4))
+    @_slow
+    def test_batched_kernel_matches_per_lane(self, gm, wseed, num_lanes):
+        g0, edges = gm
+        g = _weighted(g0, wseed)
+        rng = np.random.default_rng(wseed)
+        lanes = []
+        for _ in range(num_lanes):
+            m = Matching(g)
+            order = rng.permutation(g.m) if g.m else []
+            for eid in order:
+                u, v = g.edge_endpoints(int(eid))
+                if m.is_free(u) and m.is_free(v) and rng.integers(0, 2):
+                    m.add(u, v)
+            lanes.append(m.mate_array())
+        batched = derived_weights_array(g, np.stack(lanes)) if lanes else None
+        for row, mate in enumerate(lanes):
+            assert (batched[row] == derived_weights_array(g, mate)).all()
+
+    def test_wrap_lengths_1_and_2(self):
+        # Path a-b-c-d with only (b,c) matched: wrap(a,b) has 2 edges,
+        # wrap on a free-free edge has 1, wrap(c,d) has 2.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [5.0, 2.0, 4.0])
+        m = Matching(g, [(1, 2)])
+        assert len(wrap_path(m, 0, 1)) == 2
+        assert len(wrap_path(m, 2, 3)) == 2
+        wm = derived_weights_array(g, m.mate_array())
+        assert wm[g.edge_id(0, 1)] == 5.0 - 2.0
+        assert wm[g.edge_id(2, 3)] == 4.0 - 2.0
+        assert wm[g.edge_id(1, 2)] == 0.0
+        free = Matching(g)
+        wm_free = derived_weights_array(g, free.mate_array())
+        assert wm_free.tolist() == [5.0, 2.0, 4.0]  # length-1 wraps
+
+    def test_isolated_vertices_and_empty_graph(self):
+        g = Graph(5, [(0, 1)], [3.0])  # vertices 2-4 isolated
+        m = Matching(g)
+        assert derived_weights_array(g, m.mate_array()).tolist() == [3.0]
+        empty = Graph(4, [], [])
+        assert derived_weights_array(empty, Matching(empty).mate_array()).size == 0
+
+    def test_eps_threshold_noise(self):
+        # A swap whose gain is float noise: w(a,b) barely exceeds the
+        # matched weight.  The kernel must reproduce the scalar
+        # subtraction exactly so the _EPS_W comparison agrees.
+        for bump in (0.0, _EPS_W / 2, 5e-12, 1e-9):
+            w_edge = 1.0 + bump
+            g = Graph(3, [(0, 1), (1, 2)], [w_edge, 1.0])
+            m = Matching(g, [(1, 2)])
+            wm = derived_weights_array(g, m.mate_array())
+            scalar = wrap_gain(g, m, 0, 1)
+            assert wm[0] == scalar
+            assert (wm[0] > _EPS_W) == (scalar > _EPS_W)
+
+
+class TestApplyWrapsArray:
+    @given(matchable(max_n=12), st.integers(min_value=0, max_value=99))
+    @_slow
+    def test_matches_scalar_apply(self, gm, wseed):
+        g0, edges = gm
+        g = _weighted(g0, wseed)
+        m = Matching(g, edges)
+        wm = derived_weights_array(g, m.mate_array())
+        # A greedy vertex-disjoint positive-gain M' (what the box feeds).
+        used: set[int] = set()
+        mprime = []
+        lo, hi = g.endpoints_array()
+        for eid in np.argsort(-wm):
+            u, v = int(lo[eid]), int(hi[eid])
+            if wm[eid] > _EPS_W and not {u, v} & used:
+                mprime.append((u, v))
+                used.update((u, v))
+        got = apply_wraps_array(m, mprime)
+        want = apply_wraps(m, mprime)
+        assert got == want
+
+    def test_rejects_vertex_reuse_and_overlap(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [1.0, 2.0, 3.0])
+        m = Matching(g, [(1, 2)])
+        with pytest.raises(ValueError):
+            apply_wraps_array(m, [(0, 1), (1, 2)])  # vertex reuse
+        with pytest.raises(ValueError):
+            apply_wraps_array(m, [(1, 2)])  # not disjoint from M
+
+    def test_shared_removed_edge(self):
+        # Both endpoints of the matched edge serve different M' edges —
+        # the Lemma 4.1 overlap case apply_wraps collects as a set.
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], [5.0, 1.0, 5.0])
+        m = Matching(g, [(1, 2)])
+        got = apply_wraps_array(m, [(0, 1), (2, 3)])
+        assert sorted(got.edges()) == [(0, 1), (2, 3)]
+
+
+class TestWeightClassArray:
+    @given(
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @_slow
+    def test_matches_scalar_classes(self, ws):
+        wmax = max(ws)
+        got = _weight_class_array(np.asarray(ws), wmax)
+        assert got.tolist() == [_weight_class(w, wmax) for w in ws]
+
+    def test_power_of_two_boundaries(self):
+        wmax = 64.0
+        ws = [64.0, 32.0, 32.0000000001, 16.0, 8.0, 63.9999999999, 1e-12]
+        got = _weight_class_array(np.asarray(ws), wmax)
+        assert got.tolist() == [_weight_class(w, wmax) for w in ws]
+
+    def test_per_lane_wmax_rows(self):
+        w = np.asarray([8.0, 4.0, 1.0])
+        wmax = np.asarray([[8.0], [16.0]])
+        got = _weight_class_array(w, wmax)
+        assert got.tolist() == [
+            [_weight_class(x, 8.0) for x in w],
+            [_weight_class(x, 16.0) for x in w],
+        ]
+
+
+class TestFromMateArray:
+    def test_round_trip_and_validation(self):
+        g = assign_uniform_weights(gnp_random(14, 0.3, seed=2), seed=2)
+        m = Matching(g)
+        for u, v in g.edges():
+            if m.is_free(u) and m.is_free(v):
+                m.add(u, v)
+        rebuilt = Matching.from_mate_array(g, m.mate_array())
+        assert rebuilt == m and len(rebuilt) == len(m)
+        bad = m.mate_array()
+        if len(m):
+            v = int(np.flatnonzero(bad != -1)[0])
+            bad[v] = -1  # break symmetry
+            with pytest.raises(ValueError):
+                Matching.from_mate_array(g, bad)
+        not_edge = np.full(g.n, -1, dtype=np.int64)
+        pair = next(
+            (u, v)
+            for u in range(g.n)
+            for v in range(u + 1, g.n)
+            if not g.has_edge(u, v)
+        )
+        not_edge[pair[0]], not_edge[pair[1]] = pair[1], pair[0]
+        with pytest.raises(ValueError):
+            Matching.from_mate_array(g, not_edge)
+        with pytest.raises(ValueError):
+            Matching.from_mate_array(g, np.zeros(g.n, dtype=np.int64))  # self-mate

@@ -138,6 +138,32 @@ class TestArrayContextSegments:
         assert ctx.masked_degrees(mask).tolist() == [0, 0, 0, 0]
         assert ctx.neighbor_max(np.arange(4)).tolist() == [0, 0, 0, 0]
 
+    def test_trailing_isolated_vertices(self):
+        # Regression (ISSUE 5 review): trailing degree-0 vertices used
+        # to clamp the reduceat starts, silently truncating the last
+        # non-empty segment — the last non-isolated vertex (degree >= 2)
+        # lost its final half-edge from every reduction.
+        g = Graph(6, [(0, 1), (0, 2), (1, 2)])  # vertices 3-5 isolated
+        ctx = _ctx(g)
+        mask = np.ones(6, dtype=bool)
+        assert ctx.masked_degrees(mask).tolist() == [2, 2, 2, 0, 0, 0]
+        values = np.array([5, 7, 9, 1, 1, 1], dtype=np.int64)
+        assert ctx.neighbor_max(values).tolist() == [9, 9, 7, 0, 0, 0]
+        from repro.distributed.backends import BatchedArrayContext
+
+        bctx = BatchedArrayContext(g, [0, 1], LOCAL, None, 1_000_000)
+        bmask = np.ones((2, 6), dtype=bool)
+        bmask[1, 1] = False
+        assert bctx.masked_degrees(bmask).tolist() == [
+            [2, 2, 2, 0, 0, 0],
+            [1, 2, 1, 0, 0, 0],
+        ]
+        bvals = np.tile(values, (2, 1))
+        assert bctx.neighbor_max(bvals, mask=bmask).tolist() == [
+            [9, 9, 7, 0, 0, 0],
+            [9, 9, 5, 0, 0, 0],
+        ]
+
 
 class TestArrayContextAccounting:
     def test_account_groups_totals(self):

@@ -27,7 +27,9 @@ from repro.baselines.israeli_itai import (
     israeli_itai_matching,
     israeli_itai_matching_batched,
 )
+from repro.baselines.lps_mwm import lps_mwm, lps_mwm_batched
 from repro.baselines.luby_mis import luby_mis, luby_mis_batched, verify_mis
+from repro.core.weighted_mwm import weighted_mwm, weighted_mwm_batched
 from repro.graphs import (
     Graph,
     barabasi_albert,
@@ -35,6 +37,7 @@ from repro.graphs import (
     powerlaw_configuration,
     watts_strogatz,
 )
+from repro.graphs.weights import assign_uniform_weights
 
 from tests.golden_harness import GOLDEN_PATH, _edges, _res_dict, to_canonical_json
 
@@ -71,6 +74,26 @@ class TestBatchedIdentityAcrossFamilies:
             assert res_b == res_g, f"seed {s}"
             m_a, res_a = israeli_itai_matching(g, seed=s, backend="array")
             assert sorted(m_b.edges()) == sorted(m_a.edges()) and res_b == res_a
+
+    def test_lps_mwm(self, family):
+        g = assign_uniform_weights(FAMILIES[family](), seed=6)
+        batched = lps_mwm_batched(g, SEEDS)
+        reference = lps_mwm_batched(g, SEEDS, backend="generator")
+        for s, (m_b, res_b), (m_g, res_g) in zip(SEEDS, batched, reference):
+            assert sorted(m_b.edges()) == sorted(m_g.edges()), f"seed {s}"
+            assert res_b == res_g, f"seed {s}"
+            m_a, res_a = lps_mwm(g, seed=s, backend="array")
+            assert sorted(m_b.edges()) == sorted(m_a.edges()) and res_b == res_a
+
+    def test_weighted_mwm(self, family):
+        g = assign_uniform_weights(FAMILIES[family](), seed=6)
+        seeds = SEEDS[:3]
+        batched = weighted_mwm_batched(g, seeds, eps=0.3)
+        for s, (m_b, res_b, it_b) in zip(seeds, batched):
+            m_g, res_g, it_g = weighted_mwm(g, eps=0.3, seed=s)
+            assert sorted(m_b.edges()) == sorted(m_g.edges()), f"seed {s}"
+            assert res_b == res_g, f"seed {s}"
+            assert it_b == it_g, f"seed {s}"
 
 
 class TestMixedEarlyTermination:
@@ -124,6 +147,30 @@ class TestMixedEarlyTermination:
         mis_g, res_g = luby_mis(g, seed=7)
         assert mis_b == mis_g and res_b == res_g
 
+    def test_weighted_mwm_adaptive_lanes_stop_independently(self):
+        # Under ``adaptive`` lanes leave the pipeline at different
+        # iterations (their derived weights dry up at different times);
+        # every lane must still match its solo adaptive run.
+        g = assign_uniform_weights(gnp_random(28, 0.2, seed=5), seed=5)
+        seeds = list(range(6))
+        batched = weighted_mwm_batched(g, seeds, eps=0.3, adaptive=True)
+        iters = [it for _, _, it in batched]
+        assert len(set(iters)) > 1, iters
+        for s, (m_b, res_b, it_b) in zip(seeds, batched):
+            m_g, res_g, it_g = weighted_mwm(g, eps=0.3, seed=s, adaptive=True)
+            assert sorted(m_b.edges()) == sorted(m_g.edges()), f"seed {s}"
+            assert res_b == res_g and it_b == it_g, f"seed {s}"
+
+    def test_weighted_degenerate_graphs(self):
+        for g0 in (Graph(6), Graph(8, [(0, 1), (2, 3)])):
+            g = assign_uniform_weights(g0, seed=1)
+            for (m_b, res_b, it_b), s in zip(
+                weighted_mwm_batched(g, SEEDS, eps=0.3), SEEDS
+            ):
+                m_g, res_g, it_g = weighted_mwm(g, eps=0.3, seed=s)
+                assert sorted(m_b.edges()) == sorted(m_g.edges())
+                assert res_b == res_g and it_b == it_g
+
 
 class TestBatchedMatchesGoldens:
     """Batched reruns of the golden cells, byte-compared.
@@ -166,4 +213,33 @@ class TestBatchedMatchesGoldens:
         m, res = results[1]  # seed 7
         self._assert_cell(
             golden, "israeli_itai/ba30", {"edges": _edges(m), "res": _res_dict(res)}
+        )
+
+    def test_lps_mwm_cells(self, golden):
+        g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+        results = lps_mwm_batched(g_w, [2, 9, 14])
+        m, res = results[1]  # seed 9, surrounded by other lanes
+        self._assert_cell(
+            golden, "lps_mwm/gnp20w", {"edges": _edges(m), "res": _res_dict(res)}
+        )
+        g_baw = assign_uniform_weights(barabasi_albert(30, 2, seed=2), seed=8)
+        results = lps_mwm_batched(g_baw, [4, 11, 21])
+        m, res = results[1]  # seed 11
+        self._assert_cell(
+            golden, "lps_mwm/ba30w", {"edges": _edges(m), "res": _res_dict(res)}
+        )
+
+    def test_weighted_mwm_cell(self, golden):
+        g_w = assign_uniform_weights(gnp_random(20, 0.3, seed=3), seed=4)
+        results = weighted_mwm_batched(g_w, [1, 7, 19], eps=0.3)
+        m, res, iters = results[1]  # seed 7
+        self._assert_cell(
+            golden,
+            "weighted_mwm/gnp20w",
+            {
+                "edges": _edges(m),
+                "weight": m.weight(),
+                "iterations": iters,
+                "res": _res_dict(res),
+            },
         )
