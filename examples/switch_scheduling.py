@@ -13,6 +13,11 @@ Prints mean delay and throughput per load level.  Larger per-slot
 matchings mean more cells move per slot — the paper's premise that
 better matchings increase switch throughput shows up as lower delay at
 high load.
+
+Runs on the vectorized long-horizon engine
+(:func:`~repro.switch.engine.run_switch_vectorized`), which is pinned
+byte-identical to the scalar reference loop (`run_switch`) but makes
+10^4–10^6-slot horizons cheap; see `benchmarks/bench_s6_switch.py`.
 """
 
 from repro.analysis import format_table
@@ -22,12 +27,12 @@ from repro.switch import (
     PaperScheduler,
     PimScheduler,
     bernoulli_uniform,
-    run_switch,
+    run_switch_vectorized,
 )
 
 PORTS = 16
-SLOTS = 3000
-WARMUP = 500
+SLOTS = 10_000
+WARMUP = 1_000
 
 
 def main() -> None:
@@ -39,7 +44,7 @@ def main() -> None:
             ("maximal", lambda: GreedyMaximalScheduler(PORTS, seed=1)),
             ("paper k=3", lambda: PaperScheduler(PORTS, k=3)),
         ]:
-            st = run_switch(
+            st = run_switch_vectorized(
                 PORTS,
                 bernoulli_uniform(PORTS, load, seed=42),
                 factory(),

@@ -13,10 +13,18 @@ load and drives throughput toward 100% for uniform traffic:
    winning pointers advance (one past the accepted port), which is the
    key de-synchronization rule of iSLIP.
 
-Stateful across cell slots, hence a class.
+Stateful across cell slots, hence a class.  The per-iteration work is
+vectorized: grant and accept are ``argmin`` over cyclic-distance key
+matrices (``(i − ptr_j) mod N``), one ``(N, N)`` array op per phase,
+instead of Python scans over per-port request/grant sets.  Being
+deterministic given the pointer state, the vectorized form is exactly
+the textbook algorithm — ties cannot occur because cyclic distances
+within a column (row) are distinct.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 
 class IslipScheduler:
@@ -28,13 +36,82 @@ class IslipScheduler:
         self.num_inputs = num_inputs
         self.num_outputs = num_outputs
         self.iterations = iterations
-        self.grant_ptr = [0] * num_outputs  # per output
-        self.accept_ptr = [0] * num_inputs  # per input
+        self.grant_ptr = np.zeros(num_outputs, dtype=np.int64)  # per output
+        self.accept_ptr = np.zeros(num_inputs, dtype=np.int64)  # per input
+        self._in_ids = np.arange(num_inputs, dtype=np.int64)
+        self._out_ids = np.arange(num_outputs, dtype=np.int64)
+        # Cached cyclic-distance key matrices; only the columns/rows
+        # whose pointers moved are recomputed after a first-iteration
+        # win (pointers are internal state — mutate them only through
+        # schedule()/schedule_matrix()).
+        self._gkey = (self._in_ids[:, None] - self.grant_ptr[None, :]) % num_inputs
+        self._akey = (self._out_ids[None, :] - self.accept_ptr[:, None]) % num_outputs
 
     @staticmethod
     def _rr_pick(candidates: list[int], ptr: int, modulo: int) -> int:
         """Candidate closest to ``ptr`` going cyclically upward."""
         return min(candidates, key=lambda c: (c - ptr) % modulo)
+
+    def schedule_matrix(
+        self, requests: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One cell-slot schedule on a boolean request matrix.
+
+        ``requests[i, j]`` is ``True`` when input ``i`` has cells
+        queued for output ``j``.  Returns matched ``(inputs, outputs)``
+        index arrays forming a partial permutation; pointer state
+        advances per the first-iteration-only rule.
+        """
+        requests = np.asarray(requests, dtype=bool)
+        ni, no = self.num_inputs, self.num_outputs
+        if requests.shape != (ni, no):
+            raise ValueError(
+                f"request matrix {requests.shape}, expected {(ni, no)}"
+            )
+        in_free = np.ones(ni, dtype=bool)
+        out_free = np.ones(no, dtype=bool)
+        mi: list[np.ndarray] = []
+        mj: list[np.ndarray] = []
+        best = np.empty(ni, dtype=np.int64)
+        for it in range(self.iterations):
+            live = requests & in_free[:, None]
+            live &= out_free[None, :]
+            if not live.any():
+                break
+            # grant: per output, the requesting input closest to its pointer
+            gi = np.argmin(np.where(live, self._gkey, ni), axis=0)
+            granted = live[gi, self._out_ids]
+            jv = self._out_ids[granted]  # outputs that granted...
+            iv = gi[granted]  # ...and the input each one granted to
+            # accept: per input, the granting output closest to its
+            # pointer.  Grant events are compact (≤ one per output), so
+            # resolve the per-input argmin with a scatter-min over
+            # encoded (accept key, output) — keys within an input's
+            # candidates are distinct, so min(enc) ⇔ min(akey).
+            enc = self._akey[iv, jv] * no + jv
+            best.fill(ni * no + no)
+            np.minimum.at(best, iv, enc)
+            acc = best[iv] == enc
+            ai = iv[acc]
+            ajv = jv[acc]
+            in_free[ai] = False
+            out_free[ajv] = False
+            if it == 0 and ai.size:
+                # Pointers advance only for first-iteration wins.
+                self.grant_ptr[ajv] = (ai + 1) % ni
+                self.accept_ptr[ai] = (ajv + 1) % no
+                self._gkey[:, ajv] = (
+                    self._in_ids[:, None] - self.grant_ptr[ajv][None, :]
+                ) % ni
+                self._akey[ai, :] = (
+                    self._out_ids[None, :] - self.accept_ptr[ai][:, None]
+                ) % no
+            mi.append(ai)
+            mj.append(ajv)
+        if not mi:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(mi), np.concatenate(mj)
 
     def schedule(self, demand: list[set[int]]) -> list[tuple[int, int]]:
         """One cell-slot schedule; ``demand[i]`` = backlogged outputs of input i.
@@ -45,35 +122,9 @@ class IslipScheduler:
             raise ValueError(
                 f"demand for {len(demand)} inputs, expected {self.num_inputs}"
             )
-        in_free = [True] * self.num_inputs
-        out_free = [True] * self.num_outputs
-        matches: list[tuple[int, int]] = []
-        for it in range(self.iterations):
-            requests: list[list[int]] = [[] for _ in range(self.num_outputs)]
-            for i in range(self.num_inputs):
-                if in_free[i]:
-                    for j in demand[i]:
-                        if out_free[j]:
-                            requests[j].append(i)
-            grants: list[list[int]] = [[] for _ in range(self.num_inputs)]
-            granted_by: dict[int, int] = {}
-            any_grant = False
-            for j in range(self.num_outputs):
-                if out_free[j] and requests[j]:
-                    i = self._rr_pick(requests[j], self.grant_ptr[j], self.num_inputs)
-                    grants[i].append(j)
-                    granted_by[j] = i
-                    any_grant = True
-            if not any_grant:
-                break
-            for i in range(self.num_inputs):
-                if in_free[i] and grants[i]:
-                    j = self._rr_pick(grants[i], self.accept_ptr[i], self.num_outputs)
-                    in_free[i] = False
-                    out_free[j] = False
-                    matches.append((i, j))
-                    if it == 0:
-                        # Pointers advance only for first-iteration wins.
-                        self.grant_ptr[j] = (i + 1) % self.num_inputs
-                        self.accept_ptr[i] = (j + 1) % self.num_outputs
-        return matches
+        requests = np.zeros((self.num_inputs, self.num_outputs), dtype=bool)
+        for i, outs in enumerate(demand):
+            if outs:
+                requests[i, sorted(outs)] = True
+        mi, mj = self.schedule_matrix(requests)
+        return [(int(i), int(j)) for i, j in zip(mi, mj)]

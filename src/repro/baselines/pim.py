@@ -19,11 +19,22 @@ This is a *centralized* implementation: PIM is switch hardware, not a
 message-passing network algorithm, and the switch simulator calls it
 once per cell slot.  (The distributed story for the same idea is
 :mod:`repro.baselines.israeli_itai`.)
+
+The core is :func:`pim_schedule_matrix`, fully vectorized over the
+boolean request matrix: grants pick the ``⌊u·c⌋``-th requester per
+output (one uniform draw per output), accepts likewise per input, so
+an iteration costs a handful of array ops instead of Python loops over
+ports.  The grant and accept phases each consume exactly one
+``rng.random(ports)`` draw per iteration that still has live requests
+— a fixed, data-independent pattern, which is what lets the scalar and
+vectorized switch engines replay identical schedules from the same
+seed.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterable, Set
 
 import numpy as np
 
@@ -34,6 +45,69 @@ from repro.matching.matching import Matching
 def pim_iterations_default(ports: int) -> int:
     """The customary iteration count: ⌈log₂ N⌉ + 2."""
     return max(1, math.ceil(math.log2(max(2, ports)))) + 2
+
+
+def _rank_pick(candidates: np.ndarray, u: np.ndarray, axis: int) -> np.ndarray:
+    """One uniform pick per row/column of a boolean candidate matrix.
+
+    Along ``axis``, selects the ``⌊u·count⌋``-th ``True`` entry (a
+    uniform choice among candidates given ``u ~ U[0,1)``); rows/columns
+    without candidates select nothing.  Returns a boolean matrix with
+    at most one ``True`` per line.
+    """
+    counts = candidates.sum(axis=axis)
+    pick = np.minimum((u * counts).astype(np.int64), np.maximum(counts - 1, 0))
+    rank = np.cumsum(candidates, axis=axis) - 1
+    pick_line = pick[None, :] if axis == 0 else pick[:, None]
+    return candidates & (rank == pick_line)
+
+
+def pim_schedule_matrix(
+    requests: np.ndarray,
+    rng: np.random.Generator,
+    iterations: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One PIM cell-slot schedule on a boolean request matrix.
+
+    ``requests[i, j]`` is ``True`` when input ``i`` has cells queued
+    for output ``j``.  Returns matched ``(inputs, outputs)`` index
+    arrays forming a partial permutation.
+    """
+    requests = np.asarray(requests, dtype=bool)
+    num_inputs, num_outputs = requests.shape
+    if iterations is None:
+        iterations = pim_iterations_default(max(num_inputs, num_outputs))
+    in_free = np.ones(num_inputs, dtype=bool)
+    out_free = np.ones(num_outputs, dtype=bool)
+    mi: list[np.ndarray] = []
+    mj: list[np.ndarray] = []
+    for _ in range(iterations):
+        live = requests & in_free[:, None] & out_free[None, :]
+        if not live.any():
+            break
+        # grant: each output picks uniformly among its requesters
+        grant = _rank_pick(live, rng.random(num_outputs), axis=0)
+        # accept: each input picks uniformly among its grants
+        accept = _rank_pick(grant, rng.random(num_inputs), axis=1)
+        ai, aj = np.nonzero(accept)
+        in_free[ai] = False
+        out_free[aj] = False
+        mi.append(ai)
+        mj.append(aj)
+    if not mi:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(mi), np.concatenate(mj)
+
+
+def _request_matrix(demand: Iterable[Set[int]], num_outputs: int) -> np.ndarray:
+    """Boolean request matrix from per-input demand sets."""
+    demand = list(demand)
+    req = np.zeros((len(demand), num_outputs), dtype=bool)
+    for i, outs in enumerate(demand):
+        if outs:
+            req[i, sorted(outs)] = True
+    return req
 
 
 def pim_schedule(
@@ -59,38 +133,10 @@ def pim_schedule(
     -------
     list of matched ``(input, output)`` pairs.
     """
-    num_inputs = len(demand)
-    if iterations is None:
-        iterations = pim_iterations_default(max(num_inputs, num_outputs))
-    in_free = [True] * num_inputs
-    out_free = [True] * num_outputs
-    matches: list[tuple[int, int]] = []
-    for _ in range(iterations):
-        # request
-        requests: list[list[int]] = [[] for _ in range(num_outputs)]
-        for i in range(num_inputs):
-            if in_free[i]:
-                for j in demand[i]:
-                    if out_free[j]:
-                        requests[j].append(i)
-        # grant
-        grants: list[list[int]] = [[] for _ in range(num_inputs)]
-        any_grant = False
-        for j in range(num_outputs):
-            if out_free[j] and requests[j]:
-                i = int(rng.choice(requests[j]))
-                grants[i].append(j)
-                any_grant = True
-        if not any_grant:
-            break
-        # accept
-        for i in range(num_inputs):
-            if in_free[i] and grants[i]:
-                j = int(rng.choice(grants[i]))
-                in_free[i] = False
-                out_free[j] = False
-                matches.append((i, j))
-    return matches
+    mi, mj = pim_schedule_matrix(
+        _request_matrix(demand, num_outputs), rng, iterations
+    )
+    return [(int(i), int(j)) for i, j in zip(mi, mj)]
 
 
 def pim_matching(

@@ -20,7 +20,10 @@ seed-identical either way; only the wall clock changes) — since ISSUE
 black box, and the k-opt reference all run vectorized under
 ``array``.  ``scenarios`` additionally accepts ``--seed-batch K`` to
 dispatch each cell's seeds in chunks of K — one process-level task per
-chunk instead of one call per seed.
+chunk instead of one call per seed.  ``switch`` accepts ``--traffic
+{bernoulli,diagonal,bursty,hotspot}`` and ``--engine
+{vectorized,scalar}`` — the vectorized long-horizon engine is the
+default and produces byte-identical statistics to the scalar loop.
 """
 
 from __future__ import annotations
@@ -133,9 +136,22 @@ def cmd_switch(args) -> int:
         PaperScheduler,
         PimScheduler,
         bernoulli_uniform,
+        bursty,
+        diagonal,
+        hotspot,
         run_switch,
+        run_switch_vectorized,
     )
 
+    traffic_models = {
+        "bernoulli": lambda: bernoulli_uniform(
+            args.ports, args.load, seed=args.seed
+        ),
+        "diagonal": lambda: diagonal(args.ports, args.load, seed=args.seed),
+        "bursty": lambda: bursty(args.ports, args.load, seed=args.seed),
+        "hotspot": lambda: hotspot(args.ports, args.load, seed=args.seed),
+    }
+    make_traffic = traffic_models[args.traffic]
     rows = []
     for name, factory in [
         ("PIM", lambda: PimScheduler(args.ports, seed=args.seed)),
@@ -143,15 +159,19 @@ def cmd_switch(args) -> int:
         ("maximal", lambda: GreedyMaximalScheduler(args.ports, seed=args.seed)),
         (f"paper k={args.k}", lambda: PaperScheduler(args.ports, k=args.k)),
     ]:
-        st = run_switch(
-            args.ports,
-            bernoulli_uniform(args.ports, args.load, seed=args.seed),
-            factory(),
-            slots=args.slots,
-            warmup=args.slots // 5,
-        )
+        if args.engine == "vectorized":
+            st = run_switch_vectorized(
+                args.ports, make_traffic(), factory(),
+                slots=args.slots, warmup=args.slots // 5,
+            )
+        else:
+            st = run_switch(
+                args.ports, make_traffic(), factory(),
+                slots=args.slots, warmup=args.slots // 5,
+            )
         rows.append([name, st.throughput, st.mean_delay, st.backlog])
-    print(f"{args.ports}x{args.ports} switch at load {args.load}:")
+    print(f"{args.ports}x{args.ports} switch at load {args.load} "
+          f"({args.traffic} traffic, {args.engine} engine):")
     print(format_table(["scheduler", "throughput", "mean delay", "backlog"], rows))
     return 0
 
@@ -309,6 +329,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--slots", type=int, default=2000)
     sp.add_argument("--k", type=int, default=3)
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument(
+        "--traffic",
+        choices=("bernoulli", "diagonal", "bursty", "hotspot"),
+        default="bernoulli",
+        help="traffic model feeding the switch",
+    )
+    sp.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default="vectorized",
+        help="cell-slot loop implementation (stats are byte-identical; "
+             "vectorized is the long-horizon path)",
+    )
     sp.set_defaults(fn=cmd_switch)
 
     sp = sub.add_parser(

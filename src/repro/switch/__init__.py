@@ -11,11 +11,14 @@ experiment E8 can compare their throughput and delay.
 
 from repro.switch.fabric import Switch, SwitchStats
 from repro.switch.traffic import (
+    ChunkedTraffic,
     TrafficGenerator,
     bernoulli_uniform,
     bursty,
     diagonal,
     hotspot,
+    hotspot_output0_rate,
+    max_feasible_bursty_load,
 )
 from repro.switch.schedulers import (
     GreedyMaximalScheduler,
@@ -27,15 +30,19 @@ from repro.switch.schedulers import (
     WeightedPaperScheduler,
 )
 from repro.switch.simulator import run_switch
+from repro.switch.engine import run_switch_vectorized
 
 __all__ = [
     "Switch",
     "SwitchStats",
+    "ChunkedTraffic",
     "TrafficGenerator",
     "bernoulli_uniform",
     "bursty",
     "diagonal",
     "hotspot",
+    "hotspot_output0_rate",
+    "max_feasible_bursty_load",
     "Scheduler",
     "PimScheduler",
     "IslipAdapter",
@@ -44,4 +51,5 @@ __all__ = [
     "MaxWeightScheduler",
     "WeightedPaperScheduler",
     "run_switch",
+    "run_switch_vectorized",
 ]

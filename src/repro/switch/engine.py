@@ -1,0 +1,234 @@
+"""The vectorized long-horizon switch engine.
+
+Replaces the scalar cell-slot loop (:func:`repro.switch.simulator.run_switch`
+— kept as the reference semantics) for large port counts and 10^5–10^6
+slot horizons:
+
+* **VOQ state** is a single ``(ports, ports)`` int64 occupancy matrix
+  instead of ``ports²`` Python deques;
+* **traffic** is consumed in chunked ``(slots, ports)`` destination
+  blocks from a :class:`~repro.switch.traffic.ChunkedTraffic` stream;
+* **schedulers** are consulted once per slot on the occupancy matrix
+  (``schedule_matrix``) when they support it, falling back to the
+  demand-set / occupancy-dict interfaces for the centralized adapters;
+* **exact FIFO delay accounting without per-cell timestamps**: during
+  the main pass only per-VOQ departure *counts* and a running
+  departure-slot sum are maintained.  Afterwards a replay of the
+  traffic stream (``traffic.clone()``) walks the same arrival sequence
+  and resolves, per VOQ, which arrival indices the window's FIFO
+  departures consumed — ``total_delay = Σ departure slots − Σ arrival
+  slots`` over exactly those cells.  This is exact because every VOQ
+  is FIFO and receives at most one cell per slot: the cells departing
+  in the measured window are precisely arrival indices
+  ``[dep_count_at_warmup, dep_count_at_end)`` of their VOQ.
+
+The engine is pinned byte-identical to the scalar fabric on
+:class:`~repro.switch.fabric.SwitchStats` across every scheduler ×
+traffic model cell (``tests/test_switch/test_engine.py``); both
+engines drive the same vectorized scheduler cores, which consume
+randomness in a fixed per-slot pattern, so identical seeds yield
+identical schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.switch.fabric import SwitchStats
+from repro.switch.traffic import ChunkedTraffic
+
+
+def _matches_from_pairs(
+    pairs: list[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    if not pairs:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    arr = np.asarray(pairs, dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
+
+
+def _occupancy_dicts(q: np.ndarray) -> list[dict[int, float]]:
+    """The scalar fabric's ``occupancy()`` view of the VOQ matrix."""
+    return [
+        {int(j): float(q[i, j]) for j in np.flatnonzero(q[i])}
+        for i in range(q.shape[0])
+    ]
+
+
+def _demand_sets(q: np.ndarray) -> list[set[int]]:
+    """The scalar fabric's ``demand()`` view of the VOQ matrix."""
+    return [set(np.flatnonzero(q[i]).tolist()) for i in range(q.shape[0])]
+
+
+def run_switch_vectorized(
+    ports: int,
+    traffic: ChunkedTraffic,
+    scheduler,
+    slots: int,
+    warmup: int = 0,
+    chunk_slots: int = 2048,
+) -> SwitchStats:
+    """Simulate ``slots`` cell slots on the vectorized engine.
+
+    Semantics (and resulting :class:`SwitchStats`) are identical to
+    :func:`repro.switch.simulator.run_switch`: ``warmup`` extra slots
+    run first without being counted, queue state carries across the
+    boundary, and departed cells keep their true arrival slots.
+
+    ``traffic`` must be a fresh :class:`ChunkedTraffic` stream (the
+    delay-accounting replay pass clones it back to slot 0).
+    """
+    if ports < 1:
+        raise ValueError("need at least one port")
+    if not isinstance(traffic, ChunkedTraffic):
+        raise TypeError(
+            "run_switch_vectorized needs a ChunkedTraffic stream "
+            "(every repro.switch.traffic model returns one)"
+        )
+    if traffic.ports != ports:
+        raise ValueError(
+            f"traffic generates {traffic.ports} ports, switch has {ports}"
+        )
+    if chunk_slots < 1:
+        raise ValueError("chunk_slots must be >= 1")
+    horizon = warmup + slots
+    # The scalar loop only resets stats when it *reaches* slot==warmup,
+    # so with slots == 0 the warmup slots themselves are the window.
+    window_start = warmup if slots > 0 else 0
+    measured = horizon - window_start
+
+    q = np.zeros((ports, ports), dtype=np.int64)
+    qf = q.reshape(-1)  # flat view: 1-D fancy indexing is the fast path
+    dep_cnt = np.zeros(ports * ports, dtype=np.int64)
+    dep_cnt_window = np.zeros_like(dep_cnt)  # snapshot at window start
+    arrivals = 0
+    departures = 0
+    dep_slot_sum = 0
+    match_sizes: list[int] = []
+    record_match = match_sizes.append
+
+    weighted = hasattr(scheduler, "schedule_weighted")
+    matrixed = hasattr(scheduler, "schedule_matrix")
+
+    # Departure events are buffered per chunk (as flat VOQ indices) and
+    # folded into dep_cnt with one bincount (per-slot scatter-adds
+    # would dominate the loop).
+    pend: list[np.ndarray] = []
+
+    def _flush_departures() -> None:
+        if pend:
+            dep_cnt[:] += np.bincount(
+                np.concatenate(pend), minlength=ports * ports
+            )
+            pend.clear()
+
+    slot = 0
+    while slot < horizon:
+        count = min(chunk_slots, horizon - slot)
+        block = traffic.chunk(count)
+        # extract the chunk's arrival events once (as flat VOQ indices):
+        # per-slot work is one fancy-index update on an event slice
+        ar, ain = np.nonzero(block >= 0)  # chronological (row-major)
+        aflat = ain * ports + block[ar, ain]
+        bounds = np.searchsorted(ar, np.arange(count + 1)).tolist()
+        sched_matrix = scheduler.schedule_matrix if matrixed else None
+        for r in range(count):
+            s = slot + r
+            if s == window_start and window_start > 0:
+                # departures before this point belong to warmup; the
+                # replay pass skips each VOQ's first dep_cnt_window cells
+                _flush_departures()
+                dep_cnt_window[:] = dep_cnt
+            in_window = s >= window_start
+            # arrivals: at most one cell per input, so (i, dest) pairs
+            # are distinct and plain fancy indexing accumulates safely
+            lo_r = bounds[r]
+            hi_r = bounds[r + 1]
+            if hi_r > lo_r:
+                qf[aflat[lo_r:hi_r]] += 1
+                if in_window:
+                    arrivals += hi_r - lo_r
+            # schedule on the current occupancy
+            if matrixed:
+                # internal matrix cores return partial permutations over
+                # backlogged VOQs by construction; a per-chunk negative-
+                # occupancy check below still catches a broken core
+                mi, mj = sched_matrix(q, s)
+                k = len(mi)
+                if k:
+                    mflat = mi * ports + mj
+                    qf[mflat] -= 1
+                    pend.append(mflat)
+            else:
+                if weighted:
+                    pairs = scheduler.schedule_weighted(_occupancy_dicts(q), s)
+                else:
+                    pairs = scheduler.schedule(_demand_sets(q), s)
+                mi, mj = _matches_from_pairs(pairs)
+                # external pair lists get the scalar fabric's checks
+                k = len(mi)
+                if k:
+                    if (
+                        len(set(mi.tolist())) != k
+                        or len(set(mj.tolist())) != k
+                    ):
+                        raise ValueError("schedule is not a matching")
+                    mflat = mi * ports + mj
+                    moved = qf[mflat]
+                    if moved.min() <= 0:
+                        raise ValueError("scheduled empty VOQ")
+                    qf[mflat] = moved - 1
+                    pend.append(mflat)
+            if in_window:
+                departures += k
+                dep_slot_sum += s * k
+                record_match(k)
+        slot += count
+        if qf.min() < 0:
+            raise ValueError("scheduled empty VOQ")
+    _flush_departures()
+
+    backlog = int(q.sum())
+
+    # Replay pass: resolve the arrival slots the window's FIFO
+    # departures consumed.  Cells departing in the window from VOQ
+    # (i, j) are its arrival indices [dep_cnt_window, dep_cnt).
+    arr_slot_sum = 0
+    if departures > 0:
+        replay = traffic.clone()
+        lo = dep_cnt_window
+        hi = dep_cnt
+        seen = np.zeros(ports * ports, dtype=np.int64)
+        slot = 0
+        while slot < horizon:
+            count = min(chunk_slots, horizon - slot)
+            block = replay.chunk(count)
+            rows, ins = np.nonzero(block >= 0)  # chronological (row-major)
+            if rows.size:
+                keys = ins * ports + block[rows, ins]
+                order = np.argsort(keys, kind="stable")
+                ks = keys[order]
+                starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
+                counts = np.diff(np.r_[starts, len(ks)])
+                # per-VOQ arrival index of each event
+                idx_in_group = np.arange(len(ks)) - np.repeat(starts, counts)
+                k_global = seen[ks] + idx_in_group
+                mask = (k_global >= lo[ks]) & (k_global < hi[ks])
+                if mask.any():
+                    arr_slot_sum += int(
+                        (slot + rows[order][mask]).sum()
+                    )
+                seen[ks[starts]] += counts
+            slot += count
+
+    stats = SwitchStats(
+        slots=measured,
+        arrivals=int(arrivals),
+        departures=int(departures),
+        total_delay=int(dep_slot_sum - arr_slot_sum),
+        backlog=backlog,
+        ports=ports,
+        match_sizes=match_sizes,
+    )
+    return stats

@@ -22,7 +22,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.baselines.islip import IslipScheduler
-from repro.baselines.pim import pim_schedule
+from repro.baselines.pim import pim_schedule_matrix
 from repro.core.bipartite_mcm import bipartite_mcm
 from repro.graphs.graph import Graph
 from repro.matching.hopcroft_karp import hopcroft_karp, hopcroft_karp_truncated
@@ -34,6 +34,94 @@ class Scheduler(Protocol):
     def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
         """Return matched (input, output) pairs for this slot."""
         ...
+
+
+def _request_matrix(demand: list[set[int]], ports: int) -> np.ndarray:
+    """Boolean request matrix from per-input demand sets."""
+    req = np.zeros((len(demand), ports), dtype=bool)
+    for i, outs in enumerate(demand):
+        if outs:
+            req[i, sorted(outs)] = True
+    return req
+
+
+def _pairs(mi: np.ndarray, mj: np.ndarray) -> list[tuple[int, int]]:
+    """Index arrays -> the list-of-pairs scalar scheduling interface."""
+    return [(int(i), int(j)) for i, j in zip(mi, mj)]
+
+
+#: Below this many backlogged pairs, sequential greedy in plain Python
+#: beats the vectorized rounds (numpy call overhead dominates).  Both
+#: branches compute the *same* matching — sequential greedy over the
+#: same shuffled pair order — so the cutoff is purely a speed knob.
+_GREEDY_PY_CUTOFF = 512
+
+
+def greedy_maximal_matrix(
+    requests: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random-order greedy maximal matching on a boolean request matrix.
+
+    Reproduces sequential greedy over a uniformly shuffled edge list
+    (one ``rng.permutation`` draw per call).  Small instances run the
+    sequential loop directly; large ones run parallel rounds of
+    order-local minima — a pair wins a round when no earlier surviving
+    pair shares its input or output, the standard equivalence between
+    priority-greedy and local-minima rounds — so the result is the
+    sequential matching at vector cost.
+    """
+    num_inputs, num_outputs = requests.shape
+    flat = requests.reshape(-1).nonzero()[0]  # row-major (input, output)
+    n = flat.size
+    si, sj = np.divmod(rng.permutation(flat), num_outputs)
+    if n <= _GREEDY_PY_CUTOFF:
+        in_used = bytearray(num_inputs)
+        out_used = bytearray(num_outputs)
+        mi_l: list[int] = []
+        mj_l: list[int] = []
+        for i, j in zip(si.tolist(), sj.tolist()):
+            if not in_used[i] and not out_used[j]:
+                in_used[i] = 1
+                out_used[j] = 1
+                mi_l.append(i)
+                mj_l.append(j)
+        return (
+            np.asarray(mi_l, dtype=np.int64),
+            np.asarray(mj_l, dtype=np.int64),
+        )
+    mi: list[np.ndarray] = []
+    mj: list[np.ndarray] = []
+    row_first = np.empty(num_inputs, dtype=np.int64)
+    col_first = np.empty(num_outputs, dtype=np.int64)
+    iu = np.empty(num_inputs, dtype=bool)
+    ou = np.empty(num_outputs, dtype=bool)
+    pos = np.arange(n, dtype=np.int64)
+    while si.size:
+        # earliest surviving pair per input / output: reversed scatter
+        # keeps the lowest position (last write wins)
+        k = si.size
+        p = pos[:k]
+        row_first.fill(k)
+        col_first.fill(k)
+        row_first[si[::-1]] = p[k - 1 :: -1]
+        col_first[sj[::-1]] = p[k - 1 :: -1]
+        win = (row_first[si] == p) & (col_first[sj] == p)
+        wi = si[win]
+        wj = sj[win]
+        mi.append(wi)
+        mj.append(wj)
+        # drop every pair touching a matched input or output
+        iu.fill(False)
+        ou.fill(False)
+        iu[wi] = True
+        ou[wj] = True
+        keep = ~(iu[si] | ou[sj])
+        si = si[keep]
+        sj = sj[keep]
+    if not mi:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(mi), np.concatenate(mj)
 
 
 def _demand_graph(demand: list[set[int]], ports: int) -> tuple[Graph, list[int]]:
@@ -55,8 +143,16 @@ class PimScheduler:
         self.rng = np.random.default_rng(seed)
         self.iterations = iterations
 
+    def schedule_matrix(
+        self, occupancy: np.ndarray, slot: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Schedule directly on a ``(ports, ports)`` occupancy matrix."""
+        return pim_schedule_matrix(occupancy > 0, self.rng, self.iterations)
+
     def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
-        return pim_schedule(demand, self.ports, self.rng, self.iterations)
+        return _pairs(*pim_schedule_matrix(
+            _request_matrix(demand, self.ports), self.rng, self.iterations
+        ))
 
 
 class IslipAdapter:
@@ -64,6 +160,12 @@ class IslipAdapter:
 
     def __init__(self, ports: int, iterations: int = 4):
         self.inner = IslipScheduler(ports, ports, iterations)
+
+    def schedule_matrix(
+        self, occupancy: np.ndarray, slot: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Schedule directly on a ``(ports, ports)`` occupancy matrix."""
+        return self.inner.schedule_matrix(occupancy > 0)
 
     def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
         return self.inner.schedule(demand)
@@ -75,19 +177,19 @@ class GreedyMaximalScheduler:
     def __init__(self, ports: int, seed: int = 0):
         self.ports = ports
         self.rng = np.random.default_rng(seed)
+        self._req = np.empty((ports, ports), dtype=bool)
+
+    def schedule_matrix(
+        self, occupancy: np.ndarray, slot: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Schedule directly on a ``(ports, ports)`` occupancy matrix."""
+        np.greater(occupancy, 0, out=self._req)
+        return greedy_maximal_matrix(self._req, self.rng)
 
     def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
-        pairs = [(i, j) for i, outs in enumerate(demand) for j in outs]
-        self.rng.shuffle(pairs)
-        in_free = [True] * self.ports
-        out_free = [True] * self.ports
-        out = []
-        for i, j in pairs:
-            if in_free[i] and out_free[j]:
-                in_free[i] = False
-                out_free[j] = False
-                out.append((i, j))
-        return out
+        return _pairs(*greedy_maximal_matrix(
+            _request_matrix(demand, self.ports), self.rng
+        ))
 
 
 class PaperScheduler:

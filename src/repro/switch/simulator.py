@@ -1,4 +1,11 @@
-"""The cell-slot simulation loop tying traffic, switch and scheduler."""
+"""The scalar cell-slot simulation loop tying traffic, switch and scheduler.
+
+This is the *reference semantics* for the switch subsystem: one
+Python-level pass per slot over deque-backed VOQs.  The production
+path for long horizons and large port counts is
+:func:`repro.switch.engine.run_switch_vectorized`, which is pinned
+byte-identical to this loop on :class:`~repro.switch.fabric.SwitchStats`.
+"""
 
 from __future__ import annotations
 

@@ -7,56 +7,135 @@ The standard admissible patterns from the iSLIP literature:
 * ``diagonal`` — input i sends to outputs i (2/3 of its traffic) and
   i+1 mod N (1/3): a skewed but admissible pattern that separates
   round-robin schedulers from random ones;
+* ``bursty`` — on/off Markov bursts of same-destination cells, the
+  standard stress for round-robin schedulers;
 * ``hotspot`` — a fraction of all traffic converges on output 0
-  (inadmissible beyond load 1/hot_fraction on that output; used to
+  (inadmissible once :func:`hotspot_output0_rate` exceeds 1; used to
   study saturation behaviour).
+
+Every model returns a :class:`ChunkedTraffic` stream.  Arrivals are
+generated in fixed ``CHUNK``-slot NumPy blocks — a ``(slots, ports)``
+destination matrix with ``-1`` marking "no arrival" — so the
+long-horizon engine (:mod:`repro.switch.engine`) consumes whole blocks
+while the scalar loop (:func:`repro.switch.simulator.run_switch`)
+consumes the *same* stream one slot at a time through the callable
+:data:`TrafficGenerator` interface.  Because generation always happens
+in ``CHUNK``-sized internal blocks, the arrival sequence is a pure
+function of the model parameters and seed: it does not depend on the
+consumer's chunk sizes or on whether the stream is read per slot or in
+bulk.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, List, Tuple
 
 import numpy as np
 
 #: a traffic generator yields (input, output) arrivals for a given slot
-TrafficGenerator = Callable[[int], list[tuple[int, int]]]
+TrafficGenerator = Callable[[int], List[Tuple[int, int]]]
+
+#: internal generation block, in slots.  Part of the stream definition:
+#: draws are consumed in CHUNK-slot blocks, so changing this constant
+#: changes the arrival sequences (it is not a tuning knob).
+CHUNK = 2048
 
 
-def bernoulli_uniform(
-    ports: int, load: float, seed: int = 0
-) -> TrafficGenerator:
+class ChunkedTraffic:
+    """A chunked arrival stream that is also a per-slot callable.
+
+    ``chunk(count)`` returns the next ``count`` slots of arrivals as a
+    ``(count, ports)`` int64 matrix: entry ``[s, i]`` is the
+    destination output of the cell arriving at input ``i`` during that
+    slot, or ``-1`` when input ``i`` receives nothing (each input
+    receives at most one cell per slot in all models).
+
+    Calling the stream as ``gen(slot)`` (the scalar
+    :data:`TrafficGenerator` interface) yields the next slot's arrivals
+    as ``(input, output)`` pairs.  Both access styles advance the same
+    cursor; a fresh replica of the stream — same parameters, same seed,
+    rewound to slot 0 — is available via :meth:`clone` (the engine's
+    delay-accounting replay pass relies on this).
+    """
+
+    def __init__(
+        self,
+        ports: int,
+        fill_block: Callable[[int], np.ndarray],
+        respawn: Callable[[], "ChunkedTraffic"],
+    ) -> None:
+        self.ports = ports
+        self._fill_block = fill_block
+        self._respawn = respawn
+        self._buf: np.ndarray | None = None
+        self._pos = 0
+
+    def clone(self) -> "ChunkedTraffic":
+        """A fresh replica of this stream, rewound to slot 0."""
+        return self._respawn()
+
+    def chunk(self, count: int) -> np.ndarray:
+        """The next ``count`` slots as a ``(count, ports)`` dest matrix."""
+        if count < 0:
+            raise ValueError("chunk count must be >= 0")
+        out = np.empty((count, self.ports), dtype=np.int64)
+        filled = 0
+        while filled < count:
+            if self._buf is None or self._pos >= len(self._buf):
+                self._buf = self._fill_block(CHUNK)
+                self._pos = 0
+            take = min(count - filled, len(self._buf) - self._pos)
+            out[filled : filled + take] = self._buf[self._pos : self._pos + take]
+            self._pos += take
+            filled += take
+        return out
+
+    def __call__(self, _slot: int) -> list[tuple[int, int]]:
+        """Scalar interface: the next slot's ``(input, output)`` pairs."""
+        row = self.chunk(1)[0]
+        return [(int(i), int(row[i])) for i in np.flatnonzero(row >= 0)]
+
+
+def bernoulli_uniform(ports: int, load: float, seed: int = 0) -> ChunkedTraffic:
     """IID Bernoulli arrivals, uniformly random destinations."""
     if not 0 <= load <= 1:
         raise ValueError("load must be in [0,1]")
     rng = np.random.default_rng(seed)
 
-    def gen(_slot: int) -> list[tuple[int, int]]:
-        arrivals = []
-        hits = rng.random(ports) < load
-        dests = rng.integers(0, ports, size=ports)
-        for i in range(ports):
-            if hits[i]:
-                arrivals.append((i, int(dests[i])))
-        return arrivals
+    def fill(count: int) -> np.ndarray:
+        hits = rng.random((count, ports)) < load
+        dests = rng.integers(0, ports, size=(count, ports))
+        return np.where(hits, dests, -1)
 
-    return gen
+    return ChunkedTraffic(ports, fill, lambda: bernoulli_uniform(ports, load, seed))
 
 
-def diagonal(ports: int, load: float, seed: int = 0) -> TrafficGenerator:
+def diagonal(ports: int, load: float, seed: int = 0) -> ChunkedTraffic:
     """2/3 of input i's cells to output i, 1/3 to output i+1 (mod N)."""
+    if not 0 <= load <= 1:
+        raise ValueError("load must be in [0,1]")
     rng = np.random.default_rng(seed)
+    own = np.arange(ports, dtype=np.int64)
+    nxt = (own + 1) % ports
 
-    def gen(_slot: int) -> list[tuple[int, int]]:
-        arrivals = []
-        hits = rng.random(ports) < load
-        offs = rng.random(ports) < (1.0 / 3.0)
-        for i in range(ports):
-            if hits[i]:
-                j = (i + 1) % ports if offs[i] else i
-                arrivals.append((i, j))
-        return arrivals
+    def fill(count: int) -> np.ndarray:
+        hits = rng.random((count, ports)) < load
+        offs = rng.random((count, ports)) < (1.0 / 3.0)
+        return np.where(hits, np.where(offs, nxt, own), -1)
 
-    return gen
+    return ChunkedTraffic(ports, fill, lambda: diagonal(ports, load, seed))
+
+
+def max_feasible_bursty_load(burst_len: float) -> float:
+    """The largest sustainable ``load`` for :func:`bursty` bursts.
+
+    The on/off chain turns on with probability
+    ``p_on = load / ((1 − load) · burst_len)`` per OFF slot; requested
+    loads with ``p_on > 1`` are unreachable (the chain cannot turn on
+    more than once per slot), which caps the long-run rate at
+    ``burst_len / (burst_len + 1)``.
+    """
+    return burst_len / (burst_len + 1.0)
 
 
 def bursty(
@@ -64,7 +143,7 @@ def bursty(
     load: float,
     burst_len: float = 16.0,
     seed: int = 0,
-) -> TrafficGenerator:
+) -> ChunkedTraffic:
     """On/off (two-state Markov) bursty arrivals per input.
 
     Each input alternates between an ON state — one cell per slot, all
@@ -72,50 +151,84 @@ def bursty(
     burst length is ``burst_len`` slots; OFF lengths are set so the
     long-run arrival rate is ``load``.  Bursts of same-destination
     cells are the standard stress for round-robin schedulers.
+
+    Raises :class:`ValueError` when ``(load, burst_len)`` is
+    infeasible: the OFF→ON probability ``load/((1−load)·burst_len)``
+    must not exceed 1, so ``load`` is capped at
+    :func:`max_feasible_bursty_load` — requesting more used to clamp
+    silently and under-deliver (e.g. a measured ~0.67 at load=0.95,
+    burst_len=2).
     """
     if not 0 < load < 1:
         raise ValueError("bursty load must be in (0,1)")
     if burst_len < 1:
         raise ValueError("burst_len must be >= 1")
-    rng = np.random.default_rng(seed)
     p_off = 1.0 / burst_len  # ON -> OFF
     # stationary ON fraction = load  =>  p_on chosen accordingly.
     p_on = p_off * load / (1.0 - load)
+    if p_on > 1.0:
+        raise ValueError(
+            f"load={load} is infeasible for burst_len={burst_len}: the "
+            f"off->on probability load/((1-load)*burst_len) = {p_on:.4f} "
+            f"exceeds 1, so the realized load would silently fall short; "
+            f"max feasible load is burst_len/(burst_len+1) = "
+            f"{max_feasible_bursty_load(burst_len):.4f}"
+        )
+    rng = np.random.default_rng(seed)
     state_on = rng.random(ports) < load
     dest = rng.integers(0, ports, size=ports)
 
-    def gen(_slot: int) -> list[tuple[int, int]]:
-        arrivals = []
-        for i in range(ports):
-            if state_on[i]:
-                arrivals.append((i, int(dest[i])))
-                if rng.random() < p_off:
-                    state_on[i] = False
-            else:
-                if rng.random() < p_on:
-                    state_on[i] = True
-                    dest[i] = rng.integers(0, ports)
-        return arrivals
+    def fill(count: int) -> np.ndarray:
+        block = np.full((count, ports), -1, dtype=np.int64)
+        for s in range(count):
+            block[s, state_on] = dest[state_on]
+            u = rng.random(ports)
+            turn_on = ~state_on & (u < p_on)
+            k = int(turn_on.sum())
+            if k:
+                dest[turn_on] = rng.integers(0, ports, size=k)
+            state_on[state_on & (u < p_off)] = False
+            state_on[turn_on] = True
+        return block
 
-    return gen
+    return ChunkedTraffic(ports, fill, lambda: bursty(ports, load, burst_len, seed))
+
+
+def hotspot_output0_rate(ports: int, load: float, hot_fraction: float) -> float:
+    """Expected arrival rate into output 0, in cells per slot.
+
+    Each of the ``ports`` inputs contributes ``load · hot_fraction``
+    directed cells plus ``load · (1 − hot_fraction) / ports`` from the
+    uniform remainder, so the total is
+    ``ports·load·hot_fraction + (1 − hot_fraction)·load``.  The
+    pattern is inadmissible once this exceeds 1.
+    """
+    return ports * load * hot_fraction + (1.0 - hot_fraction) * load
 
 
 def hotspot(
     ports: int, load: float, hot_fraction: float = 0.5, seed: int = 0
-) -> TrafficGenerator:
-    """``hot_fraction`` of cells go to output 0, the rest uniform."""
+) -> ChunkedTraffic:
+    """``hot_fraction`` of cells go to output 0, the rest uniform.
+
+    The aggregate rate into output 0 is
+    :func:`hotspot_output0_rate`, i.e.
+    ``ports·load·hot_fraction + (1 − hot_fraction)·load`` — note the
+    ``ports`` factor: *every* input directs ``hot_fraction`` of its
+    cells at output 0, so even modest per-input loads saturate it.
+    """
+    if not 0 <= load <= 1:
+        raise ValueError("load must be in [0,1]")
     if not 0 <= hot_fraction <= 1:
         raise ValueError("hot_fraction must be in [0,1]")
     rng = np.random.default_rng(seed)
 
-    def gen(_slot: int) -> list[tuple[int, int]]:
-        arrivals = []
-        hits = rng.random(ports) < load
-        hot = rng.random(ports) < hot_fraction
-        dests = rng.integers(0, ports, size=ports)
-        for i in range(ports):
-            if hits[i]:
-                arrivals.append((i, 0 if hot[i] else int(dests[i])))
-        return arrivals
+    def fill(count: int) -> np.ndarray:
+        hits = rng.random((count, ports)) < load
+        hot = rng.random((count, ports)) < hot_fraction
+        dests = rng.integers(0, ports, size=(count, ports))
+        return np.where(hits, np.where(hot, 0, dests), -1)
 
-    return gen
+    return ChunkedTraffic(
+        ports, fill, lambda: hotspot(ports, load, hot_fraction, seed)
+    )

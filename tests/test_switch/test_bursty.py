@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.switch import IslipAdapter, PimScheduler, bursty, run_switch
+from repro.switch import (
+    IslipAdapter,
+    PimScheduler,
+    bursty,
+    max_feasible_bursty_load,
+    run_switch,
+)
 
 
 class TestBursty:
@@ -44,6 +50,32 @@ class TestBursty:
             bursty(4, 1.0)
         with pytest.raises(ValueError):
             bursty(4, 0.5, burst_len=0.5)
+
+    def test_infeasible_load_raises(self):
+        """load=0.95 at burst_len=2 needs an off->on probability > 1;
+        the old code clamped silently and delivered ~0.67 instead of
+        0.95.  Now it refuses, naming the feasibility cap."""
+        with pytest.raises(ValueError, match="max feasible load"):
+            bursty(8, 0.95, burst_len=2.0)
+        # the cap itself: burst_len / (burst_len + 1)
+        assert max_feasible_bursty_load(2.0) == pytest.approx(2.0 / 3.0)
+        with pytest.raises(ValueError, match="0.6667"):
+            bursty(8, 0.95, burst_len=2.0)
+
+    def test_feasible_boundary_accepted(self):
+        # just under the cap works (the cap itself sits at p_on == 1,
+        # where float rounding may land on either side)
+        bursty(8, max_feasible_bursty_load(4.0) - 1e-9, burst_len=4.0)
+
+    def test_realized_load_matches_requested_at_high_load(self):
+        """Regression for the silent under-delivery: at load=0.9 the
+        realized long-horizon arrival rate must track the request
+        within 2%."""
+        ports, load, slots = 16, 0.9, 60_000
+        gen = bursty(ports, load, burst_len=16.0, seed=11)
+        arrivals = int((gen.chunk(slots) >= 0).sum())
+        realized = arrivals / (slots * ports)
+        assert abs(realized - load) / load < 0.02
 
     def test_determinism(self):
         a = bursty(6, 0.4, seed=5)

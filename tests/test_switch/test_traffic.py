@@ -1,8 +1,16 @@
 """Tests for switch traffic generators."""
 
+import numpy as np
 import pytest
 
-from repro.switch import bernoulli_uniform, diagonal, hotspot
+from repro.switch import (
+    ChunkedTraffic,
+    bernoulli_uniform,
+    bursty,
+    diagonal,
+    hotspot,
+    hotspot_output0_rate,
+)
 
 
 class TestBernoulliUniform:
@@ -76,3 +84,73 @@ class TestHotspot:
     def test_invalid_fraction(self):
         with pytest.raises(ValueError):
             hotspot(4, 0.5, hot_fraction=1.5)
+
+
+class TestHotspotOutput0Rate:
+    def test_formula(self):
+        """Rate into output 0 = ports·load·hot_fraction + (1−hf)·load:
+        every input directs hot_fraction of its cells there (the ports
+        factor), plus output 0's share of the uniform remainder."""
+        assert hotspot_output0_rate(8, 0.5, 0.25) == pytest.approx(
+            8 * 0.5 * 0.25 + 0.75 * 0.5
+        )
+        # no hotspot: output 0 receives the plain uniform rate `load`
+        assert hotspot_output0_rate(16, 0.3, 0.0) == pytest.approx(0.3)
+        # full hotspot: all ports·load cells converge on output 0
+        assert hotspot_output0_rate(16, 0.3, 1.0) == pytest.approx(4.8)
+
+    def test_matches_measured_rate(self):
+        ports, load, hf = 8, 0.6, 0.2
+        gen = hotspot(ports, load, hot_fraction=hf, seed=3)
+        block = gen.chunk(40_000)
+        measured = (block == 0).sum() / len(block)
+        assert measured == pytest.approx(
+            hotspot_output0_rate(ports, load, hf), rel=0.05
+        )
+
+
+class TestChunkedStream:
+    MODELS = {
+        "bernoulli": lambda: bernoulli_uniform(6, 0.5, seed=13),
+        "diagonal": lambda: diagonal(6, 0.7, seed=14),
+        "bursty": lambda: bursty(6, 0.5, burst_len=5.0, seed=15),
+        "hotspot": lambda: hotspot(6, 0.6, hot_fraction=0.3, seed=16),
+    }
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_per_slot_matches_chunk(self, name):
+        """The callable (scalar) interface and chunk() expose the same
+        underlying arrival sequence."""
+        a = self.MODELS[name]()
+        b = self.MODELS[name]()
+        block = a.chunk(300)
+        for t in range(300):
+            pairs = b(t)
+            row = block[t]
+            expect = [(int(i), int(row[i])) for i in np.flatnonzero(row >= 0)]
+            assert pairs == expect
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_consumer_chunk_sizes_irrelevant(self, name):
+        """Draws are consumed in fixed internal blocks, so the sequence
+        does not depend on how the consumer slices it."""
+        whole = self.MODELS[name]().chunk(5000)
+        gen = self.MODELS[name]()
+        pieces = [gen.chunk(n) for n in (1, 2, 37, 1000, 2048, 1912)]
+        assert np.array_equal(np.concatenate(pieces), whole)
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_clone_rewinds_to_slot_zero(self, name):
+        gen = self.MODELS[name]()
+        first = gen.chunk(500)
+        gen.chunk(700)  # advance further
+        again = gen.clone().chunk(500)
+        assert np.array_equal(again, first)
+
+    def test_all_models_return_chunked_traffic(self):
+        for make in self.MODELS.values():
+            assert isinstance(make(), ChunkedTraffic)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            bernoulli_uniform(4, 0.5).chunk(-1)

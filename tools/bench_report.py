@@ -5,7 +5,7 @@ under ``benchmarks/results/s*.json`` with its own schema, but every
 cell carries a ``speedup`` (plus, where measured, a round-loop
 ``loop_speedup`` / ``end_to_end_speedup``).  This tool normalizes them
 into one per-subsystem × per-workload summary — the performance
-trajectory across PRs — prints it, and writes it to ``BENCH_S5.json``
+trajectory across PRs — prints it, and writes it to ``BENCH_S6.json``
 at the repo root (regenerate after committing a new ``s*.json``)::
 
     PYTHONPATH=src python tools/bench_report.py
@@ -30,6 +30,8 @@ COMPARISONS = {
     "s4_batched": "one batched run vs N sequential array runs (end to end)",
     "s5_weighted": "weighted pipeline: array/batched leg vs reference leg "
                    "(end to end)",
+    "s6_switch": "vectorized switch engine vs scalar cell-slot loop "
+                 "(end to end, equal SwitchStats)",
 }
 
 
@@ -81,7 +83,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--results-dir", type=pathlib.Path,
                     default=repo_root / "benchmarks" / "results")
     ap.add_argument("--out", type=pathlib.Path,
-                    default=repo_root / "BENCH_S5.json")
+                    default=repo_root / "BENCH_S6.json")
     args = ap.parse_args(argv)
     if not args.results_dir.is_dir():
         print(f"error: no results directory at {args.results_dir}",
