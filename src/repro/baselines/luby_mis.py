@@ -43,6 +43,18 @@ _IN_MIS = "i"
 _OUT = "o"
 
 
+def _number_bound(n: int) -> int:
+    """Draw bound: N⁴ (Section 3.2), capped so draws stay in int64.
+
+    The cap binds only for N > 55108, where N⁴ exceeds 2⁶³; the paper
+    needs the bound merely large enough that ties are unlikely (a tie
+    costs one extra phase, never correctness), and at 2⁶³−2 the
+    collision probability of even 10⁶ simultaneous draws is ~10⁻⁷.
+    Below the cap the draws — and all existing goldens — are unchanged.
+    """
+    return min(max(2, n) ** 4, int(np.iinfo(np.int64).max) - 1)
+
+
 def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
     """Node program; returns True iff the node joined the MIS.
 
@@ -51,7 +63,7 @@ def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
     withdrawal announcements, each read in its own round's inbox.
     """
     active = set(node.neighbors)
-    hi = max(2, n) ** 4
+    hi = _number_bound(n)
     first = True
     while True:
         if not first:
@@ -102,7 +114,7 @@ def luby_mis_array(ctx: ArrayContext, n: int) -> list[bool]:
     size = ctx.n
     outputs: list[bool | None] = [None] * size
     alive = np.ones(size, dtype=bool)
-    hi = max(2, n) ** 4
+    hi = _number_bound(n)
     lanes = ctx.lanes
     while alive.any():
         # Resume A: withdrawals from last phase are already folded into
@@ -166,7 +178,7 @@ def luby_mis_array_batched(ctx: BatchedArrayContext, n: int) -> list[list[bool]]
     num_seeds, size = ctx.num_seeds, ctx.n
     outputs: list[list[bool | None]] = [[None] * size for _ in range(num_seeds)]
     alive = np.ones((num_seeds, size), dtype=bool)
-    hi = max(2, n) ** 4
+    hi = _number_bound(n)
     lanes = ctx.lanes
     eight = np.int64(8)
     while alive.any():

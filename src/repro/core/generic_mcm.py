@@ -35,12 +35,16 @@ import numpy as np
 
 from repro.baselines.luby_mis import luby_mis
 from repro.core.conflict_graph import build_conflict_graph
-from repro.distributed.backends import ArrayContext, run_program
+from repro.distributed.backends import ArrayContext, int_payload_bits, run_program
 from repro.distributed.message import Sized, bit_size
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
-from repro.matching.augmenting import apply_paths, augmenting_paths_maximal_set
+from repro.matching.augmenting import (
+    apply_paths,
+    apply_paths_array,
+    augmenting_paths_maximal_set,
+)
 from repro.matching.matching import Matching
 
 # View records: ("v", id, free) vertex records, ("e", u, v, matched) edges.
@@ -48,9 +52,11 @@ _VERTEX = "v"
 _EDGE = "e"
 
 
+
+
 def flood_views_program(
-    node: Node, depth: int, mates: list[int]
-) -> Generator[None, None, frozenset]:
+    node: Node, depth: int, mates: list[int], keep_views: bool = True
+) -> Generator[None, None, frozenset | None]:
     """Algorithm 2 step 1: learn the distance-``depth`` ball of G.
 
     Per round, a node forwards the records it learned in the previous
@@ -75,56 +81,118 @@ def flood_views_program(
             incoming.update(records)
         fresh = sorted(incoming - known)
         known.update(fresh)
-    return frozenset(known)
+    return frozenset(known) if keep_views else None
 
 
 def flood_views_array(
-    ctx: ArrayContext, depth: int, mates: list[int]
-) -> list[frozenset]:
+    ctx: ArrayContext, depth: int, mates: list[int], keep_views: bool = True
+) -> list[frozenset] | None:
     """Array program twin of :func:`flood_views_program`.
 
-    Views are set-valued, so the per-node state stays Python sets (the
-    union work is identical either way); what the array form strips is
-    the whole message plane — no generator resumes, no per-neighbor
-    ``(src, records)`` tuples, no inbox bucketing, and no double sort
-    of the fresh records (a ``Sized`` payload's bit count is the sum
-    over its records, which is order-independent).  Accounting flows
+    The whole flood runs on **record ids**: record ``r < n`` is the
+    vertex record ``("v", r, free)`` and record ``n + eid`` the edge
+    record ``("e", lo, hi, matched)``.  Per-node known/fresh sets
+    become sorted arrays of flat ``node * (n+m) + record`` keys, one
+    round of flooding is a ragged CSR expansion + ``np.unique`` +
+    sorted-membership subtraction, and the per-sender payload bits are
+    one ``bincount`` over precomputed per-record sizes (a ``Sized``
+    payload's bit count is the sum over its records, which is
+    order-independent — and a record's bit size does not depend on its
+    boolean flag, so sizes are fixed per record id).  Accounting flows
     through the context and matches the generator run bit for bit.
+
+    With ``keep_views=False`` the per-node frozensets are never
+    materialized (outputs are ``None``); counters are unchanged.  This
+    is the scale path — at n=10^6 the Python set/tuple universe is
+    orders of magnitude more memory than the key arrays.
     """
     g = ctx.graph
     size = ctx.n
-    neighbors = [g.neighbors(v) for v in range(size)]
-    fresh: list[set] = []
-    known: list[set] = []
-    for v in range(size):
-        my_mate = mates[v]
-        records = {(_VERTEX, v, my_mate == -1)}
-        for u in neighbors[v]:
-            a, b = (v, u) if v < u else (u, v)
-            records.add((_EDGE, a, b, u == my_mate))
-        fresh.append(records)
-        known.append(set(records))
+    n = size
+    num_edges = g.m
+    R = n + num_edges  # record-id universe
+    indptr, indices, eids = g.adjacency_arrays()
+    deg = np.diff(indptr).astype(np.int64)
+    lo, hi = g.endpoints_array()
+    rec_bits = np.empty(R, dtype=np.int64)
+    if n:
+        # ("v", id, free): 8 (tag str) + ipb(id) + 1 (bool flag).
+        rec_bits[:n] = 9 + int_payload_bits(np.arange(n, dtype=np.int64))
+    if num_edges:
+        # ("e", a, b, matched): 8 + ipb(a) + ipb(b) + 1.
+        rec_bits[n:] = (
+            9
+            + int_payload_bits(lo.astype(np.int64))
+            + int_payload_bits(hi.astype(np.int64))
+        )
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    vids = np.arange(n, dtype=np.int64)
+    init_keys = np.concatenate(
+        [vids * R + vids, owner * R + (n + eids.astype(np.int64))]
+    )
+    known = np.sort(init_keys)
+    fresh = known.copy()
     for _ in range(depth):
         ctx.begin_step(size)
-        bits = []
-        counts = []
-        for v in range(size):
-            if fresh[v] and neighbors[v]:
-                bits.append(sum(bit_size(rec) for rec in fresh[v]))
-                counts.append(len(neighbors[v]))
-        ctx.account_groups(bits, counts)
+        if fresh.size:
+            fnodes = fresh // R
+            frecs = fresh % R
+            # Exact integer sums: per-node bit totals stay far below
+            # 2^53, so the float64 bincount accumulator is lossless.
+            bits_per = np.bincount(
+                fnodes, weights=rec_bits[frecs].astype(np.float64), minlength=n
+            ).astype(np.int64)
+            senders = np.flatnonzero((bits_per > 0) & (deg > 0))
+            ctx.account_groups(bits_per[senders], deg[senders])
         ctx.end_step(size > 0)
-        incoming: list[set] = [set() for _ in range(size)]
-        for v in range(size):
-            if fresh[v]:
-                for u in neighbors[v]:
-                    incoming[u] |= fresh[v]
-        for v in range(size):
-            new = incoming[v] - known[v]
-            known[v] |= new
-            fresh[v] = new
+        if fresh.size:
+            cnt = deg[fnodes]
+            total = int(cnt.sum())
+            if total:
+                # One ragged expansion pass: slot j of fresh pair i is
+                # indptr[node_i] + j, laid out as a running arange with
+                # a per-pair base offset (a single repeat — this loop
+                # is the scale-tier hot path, so every O(total) pass
+                # counts).
+                base = indptr[fnodes].astype(np.int64) - (np.cumsum(cnt) - cnt)
+                slot = np.arange(total, dtype=np.int64)
+                slot += np.repeat(base, cnt)
+                cand = np.multiply(indices[slot], R, dtype=np.int64)
+                del slot
+                cand += np.repeat(frecs, cnt)
+                cand.sort()
+                keep = np.empty(cand.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(cand[1:], cand[:-1], out=keep[1:])
+                cand = cand[keep]
+                pos = np.minimum(np.searchsorted(known, cand), known.size - 1)
+                fresh = cand[known[pos] != cand]
+                if fresh.size:
+                    # Two sorted runs: the stable sort (timsort) merges
+                    # them in O(len) instead of re-sorting from scratch.
+                    known = np.concatenate([known, fresh])
+                    known.sort(kind="stable")
+            else:
+                fresh = fresh[:0]
     ctx.begin_step(size)  # final resume: every program returns
-    return [frozenset(k) for k in known]
+    if not keep_views:
+        return None
+    mate = np.asarray(mates, dtype=np.int64)
+    free_flag = (mate == -1).tolist()
+    matched_flag = (mate[lo] == hi).tolist() if num_edges else []
+    rec_tuples: list[tuple] = [
+        (_VERTEX, v, free_flag[v]) for v in range(n)
+    ] + [
+        (_EDGE, a, b, mm)
+        for a, b, mm in zip(lo.tolist(), hi.tolist(), matched_flag)
+    ]
+    knodes = known // R
+    krecs = (known % R).tolist()
+    bounds = np.searchsorted(knodes, np.arange(n + 1, dtype=np.int64))
+    return [
+        frozenset(rec_tuples[r] for r in krecs[bounds[v]: bounds[v + 1]])
+        for v in range(n)
+    ]
 
 
 @dataclass
@@ -147,6 +215,7 @@ def generic_mcm(
     seed: int = 0,
     max_rounds: int = 1_000_000,
     backend: str = "generator",
+    keep_views: bool = True,
 ) -> tuple[Matching, GenericStats]:
     """Theorem 3.1: distributed (1−1/(k+1))-MCM (so ≥ (1−ε) for k=⌈1/ε⌉).
 
@@ -155,7 +224,11 @@ def generic_mcm(
     n^O(ℓ) nodes, as in the paper.  ``backend`` selects the execution
     engine for both distributed subroutines (the Algorithm 2 flooding
     and the conflict-graph MIS); results are byte-identical across
-    backends for the same seed.
+    backends for the same seed.  ``keep_views=False`` skips
+    materializing the per-node view frozensets (``stats.views`` stays
+    empty; all counters are unchanged) — the scale-tier switch for
+    million-node runs, where the Python tuple universe would dwarf the
+    flood's own arrays.
     """
     if (k is None) == (eps is None):
         raise ValueError("pass exactly one of k / eps")
@@ -172,18 +245,19 @@ def generic_mcm(
     m = Matching(g)
     stats = GenericStats()
     for phase, ell in enumerate(range(1, 2 * k, 2)):
-        mates = [m.mate(v) for v in range(g.n)]
+        mates = m.mate_array().tolist()
         # Step 4 (Algorithm 2): flood views to distance 2ℓ.
         flood_res = run_program(
             g,
             backend=backend,
             generator_program=flood_views_program,
             array_program=flood_views_array,
-            params={"depth": 2 * ell, "mates": mates},
+            params={"depth": 2 * ell, "mates": mates, "keep_views": keep_views},
             seed=int(phase_seeds[phase].generate_state(1)[0]),
             max_rounds=max_rounds,
         )
-        stats.views = dict(flood_res.outputs)
+        if keep_views:
+            stats.views = dict(flood_res.outputs)
         stats.result = stats.result.merge(flood_res)
 
         # Conflict graph: because views are exact balls, the union of
@@ -207,8 +281,10 @@ def generic_mcm(
         )
         stats.result.charged_rounds += mis_res.rounds * (ell + 1) + ell
         stats.mis_sizes[ell] = len(mis)
-        # Step 7: apply the selected (vertex-disjoint) augmentations.
-        m = apply_paths(m, [paths[i] for i in sorted(mis)])
+        # Step 7: apply the selected (vertex-disjoint) augmentations —
+        # the array twin (same validation, same matching) keeps this
+        # O(n + m) instead of rebuilding Python edge sets.
+        m = apply_paths_array(m, [paths[i] for i in sorted(mis)])
     return m, stats
 
 

@@ -146,45 +146,199 @@ def find_gain_augmentations(
     return _rank(walks, [_gain(g, m, w) for w in walks])
 
 
+#: Root-block granularity for the vectorized walk enumeration: the
+#: frontier of a block is O(roots · Δ^(k+1)) in the worst case, so the
+#: enumeration is chunked over start vertices to bound peak memory.
+_ROOT_BLOCK = 1 << 15
+
+
+def _walks_arrays(
+    g: Graph, m: Matching, k: int, roots: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All walks :func:`_alternating_walks` yields from ``roots``, as arrays.
+
+    Level-synchronous frontier expansion over the CSR structure: level
+    ``ℓ`` extends every live walk prefix by one half-edge at once, with
+    the scalar DFS's per-candidate tests (alternation, cycle closing,
+    simplicity, the ≤k unmatched budget, the free-endpoint yield rule)
+    evaluated as whole-frontier masks.  Walks strictly alternate, so a
+    path prefix has at most ``2k + 1`` edges; a cycle may add one more
+    (the closing edge is exempt from the unmatched budget, exactly as
+    in the scalar DFS, where only *extensions* are charged), so the
+    loop runs at most ``2k + 2`` levels.
+
+    Returns ``(verts, ports, nedges)``: walk ``i`` has ``nedges[i]``
+    edges, its vertex sequence is ``verts[i, :nedges[i] + 1]`` (a cycle
+    repeats its start vertex at the end), and ``ports[i, j]`` is the
+    CSR port index its ``j``-th edge took out of its source vertex —
+    enough to reconstruct the scalar DFS's emission order (see
+    :func:`find_gain_augmentations_array`).  Unused slots are ``-1``.
+    """
+    indptr, indices, _ = g.adjacency_arrays()
+    indptr = indptr.astype(np.int64, copy=False)
+    deg = np.diff(indptr)
+    mate = m.mate_array()
+    free = mate == -1
+    max_edges = 2 * k + 2  # longest walk: a full cycle
+    verts = np.full((roots.size, max_edges + 1), -1, dtype=np.int64)
+    verts[:, 0] = roots
+    ports = np.full((roots.size, max_edges), -1, dtype=np.int64)
+    # First edge matched from a matched start, unmatched from a free one.
+    want = ~free[roots]
+    used = np.zeros(roots.size, dtype=np.int64)
+    out_v: list[np.ndarray] = []
+    out_p: list[np.ndarray] = []
+    out_n: list[np.ndarray] = []
+    for level in range(max_edges):
+        if verts.shape[0] == 0:
+            break
+        last = verts[:, level]
+        d = deg[last].astype(np.int64)
+        total = int(d.sum())
+        if total == 0:
+            break
+        rep = np.repeat(np.arange(verts.shape[0]), d)
+        head = np.cumsum(d) - d
+        port = np.arange(total, dtype=np.int64) - np.repeat(head, d)
+        u = indices[indptr[last][rep] + port].astype(np.int64)
+        wrep = want[rep]
+        ok = (mate[last[rep]] == u) == wrep
+        is_start = u == verts[rep, 0]
+        if level >= 2:
+            # Closing an alternating even cycle: the closing edge's
+            # type must differ from the first edge's.
+            first_matched = mate[verts[:, 0]] == verts[:, 1]
+            cyc = ok & is_start & (wrep != first_matched[rep])
+        else:
+            cyc = np.zeros(total, dtype=bool)
+        in_path = is_start.copy()
+        for j in range(1, level + 1):
+            in_path |= verts[rep, j] == u
+        new_used = used[rep] + (~wrep).astype(np.int64)
+        ext = ok & ~in_path & (new_used <= k)
+        # A path is applicable as-is iff an unmatched terminal edge
+        # ends on a free vertex; extensions are explored regardless.
+        emit = cyc | (ext & (wrep | free[u]))
+        if emit.any():
+            er = rep[emit]
+            ev = verts[er].copy()
+            ev[:, level + 1] = u[emit]
+            ep = ports[er].copy()
+            ep[:, level] = port[emit]
+            out_v.append(ev)
+            out_p.append(ep)
+            out_n.append(np.full(er.size, level + 1, dtype=np.int64))
+        if level + 1 >= max_edges or not ext.any():
+            if level + 1 >= max_edges:
+                break
+            verts = verts[:0]
+            continue
+        kr = rep[ext]
+        nv = verts[kr].copy()
+        nv[:, level + 1] = u[ext]
+        np_ = ports[kr].copy()
+        np_[:, level] = port[ext]
+        verts, ports = nv, np_
+        want = ~wrep[ext]
+        used = new_used[ext]
+    width_v, width_p = max_edges + 1, max_edges
+    if not out_v:
+        return (
+            np.empty((0, width_v), dtype=np.int64),
+            np.empty((0, width_p), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    return np.vstack(out_v), np.vstack(out_p), np.concatenate(out_n)
+
+
 def find_gain_augmentations_array(
     g: Graph, m: Matching, k: int
 ) -> list[tuple[float, tuple[tuple[int, int], ...]]]:
-    """Vectorized pricing twin of :func:`find_gain_augmentations`.
+    """Vectorized twin of :func:`find_gain_augmentations`.
 
-    The enumeration (and therefore the candidate set) is shared; the
-    per-walk weight lookups collapse into one gather over the
-    edge-weight array.  The ± accumulation runs position by position
-    across all walks at once — walk position ``p`` is added to every
-    walk still that long in one array op — which reproduces the scalar
-    left-to-right float sum *bit for bit* (``reduceat`` would not: its
+    Since ISSUE 7 both halves are array-native: the walk *enumeration*
+    runs as a level-synchronous frontier expansion (the scalar DFS was
+    the cell's actual bottleneck — the pricing it fed was already
+    vectorized) and the *pricing* accumulates position by position
+    across all walks at once, reproducing each walk's scalar
+    left-to-right float sum bit for bit (``reduceat`` would not: its
     in-segment summation is pairwise, and near-tied gains then sort
-    differently than the scalar path).  Walks have at most ``2k + 1``
-    edges, so the position loop is a handful of iterations.
+    differently than the scalar path).
+
+    Deduplication must also match: the scalar `_rank` keeps, for every
+    canonical edge set, the gain of its **last positively-priced walk
+    in DFS emission order**.  That order is recovered without running
+    the DFS: within one expansion, yields happen in port order, and
+    pushed extensions are popped LIFO — so prefixes are expanded in
+    reverse-port preorder, and a walk's emission slot is exactly the
+    lexicographic key ``(start, -p_1, ..., -p_{L-1}, p_L)`` over its
+    port sequence, with absent prefix positions below every real port
+    (a prefix is expanded before its extensions).  One ``lexsort``
+    therefore replays the scalar tie-breaking exactly.
     """
-    walks = list(_alternating_walks(g, m, k))
-    if not walks:
+    n = g.n
+    if n == 0:
         return []
-    lo, hi = g.endpoints_array()
-    keys = lo * np.int64(g.n) + hi
-    order = np.argsort(keys)
-    skeys = keys[order]
     mate = m.mate_array()
-    flat = np.asarray(
-        [e for walk in walks for e in walk], dtype=np.int64
+    weights = g.weights_array()
+    max_edges = 2 * k + 2
+    blocks = [
+        _walks_arrays(g, m, k, np.arange(s, min(s + _ROOT_BLOCK, n), dtype=np.int64))
+        for s in range(0, n, _ROOT_BLOCK)
+    ]
+    verts = np.vstack([b[0] for b in blocks])
+    ports = np.vstack([b[1] for b in blocks])
+    nedges = np.concatenate([b[2] for b in blocks])
+    rows = nedges.size
+    if rows == 0:
+        return []
+    gains = np.zeros(rows, dtype=np.float64)
+    edge_keys = np.full((rows, max_edges), np.int64(n) * n, dtype=np.int64)
+    for pos in range(int(nedges.max())):
+        alive = nedges > pos
+        u, v = verts[alive, pos], verts[alive, pos + 1]
+        eid = g.edge_ids_array(u, v)
+        w = weights[eid].astype(np.float64)
+        gains[alive] += np.where(mate[u] == v, -w, w)
+        edge_keys[alive, pos] = np.minimum(u, v) * n + np.maximum(u, v)
+    keep = np.flatnonzero(gains > 1e-12)
+    if keep.size == 0:
+        return []
+    # DFS emission rank of each surviving walk (docstring key).
+    kp = ports[keep]
+    kn = nedges[keep]
+    pad = np.int64(-(n + 2))  # below every -(port + 1)
+    cols = np.arange(max_edges - 1)
+    prefix = np.where(
+        cols[None, :] < (kn - 1)[:, None], -(kp[:, : max_edges - 1] + 1), pad
     )
-    u = np.minimum(flat[:, 0], flat[:, 1])
-    v = np.maximum(flat[:, 0], flat[:, 1])
-    eids = order[np.searchsorted(skeys, u * np.int64(g.n) + v)]
-    vals = np.where(mate[u] == v, -1.0, 1.0) * g.weights_array()[eids]
-    lengths = np.fromiter(
-        (len(w) for w in walks), dtype=np.int64, count=len(walks)
+    plast = kp[np.arange(keep.size), kn - 1]
+    order = np.lexsort(
+        (plast,)
+        + tuple(prefix[:, j] for j in range(max_edges - 2, -1, -1))
+        + (verts[keep, 0],)
     )
-    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    gains = np.zeros(len(walks), dtype=np.float64)
-    for pos in range(int(lengths.max())):
-        alive = lengths > pos
-        gains[alive] += vals[starts[alive] + pos]
-    return _rank(walks, gains)
+    rank = np.empty(keep.size, dtype=np.int64)
+    rank[order] = np.arange(keep.size)
+    # Last positive writer per canonical edge set: group rows on their
+    # sorted edge keys, keep the max-rank member of each group.
+    ek = edge_keys[keep]
+    ek.sort(axis=1)
+    gorder = np.lexsort(tuple(ek[:, j] for j in range(max_edges - 1, -1, -1)))
+    sek = ek[gorder]
+    gid = np.cumsum(
+        np.r_[True, (sek[1:] != sek[:-1]).any(axis=1)]
+    ) - 1
+    worder = np.lexsort((rank[gorder], gid))
+    last_of_group = np.r_[gid[worder][1:] != gid[worder][:-1], True]
+    winners = gorder[worder[last_of_group]]
+    out: list[tuple[float, tuple[tuple[int, int], ...]]] = []
+    for i in winners.tolist():
+        keys_row = [kk for kk in ek[i].tolist() if kk < n * n]
+        edges = tuple((kk // n, kk % n) for kk in keys_row)
+        out.append((float(gains[keep[i]]), edges))
+    out.sort(key=lambda t: (-t[0], t[1]))
+    return out
 
 
 def _apply_batch_array(

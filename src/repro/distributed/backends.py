@@ -92,6 +92,7 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.distributed.batch_rng import LaneRngs
+from repro.distributed.kernels import make_kernel
 from repro.distributed.metrics import RunResult
 from repro.distributed.models import LOCAL, CongestViolation, Model
 from repro.distributed.network import Network
@@ -233,6 +234,8 @@ class ArrayContext:
         "_seed",
         "_rngs",
         "_lanes",
+        "_kernel_name",
+        "_kernel",
     )
 
     def __init__(
@@ -243,6 +246,7 @@ class ArrayContext:
         limit: int | None,
         result: RunResult,
         max_rounds: int,
+        kernel: str | None = None,
     ) -> None:
         self.graph = graph
         self.n = graph.n
@@ -254,6 +258,8 @@ class ArrayContext:
         self._seed = seed
         self._rngs: list[np.random.Generator] | None = None
         self._lanes: LaneRngs | None = None
+        self._kernel_name = kernel
+        self._kernel = None
 
     @property
     def rngs(self) -> list[np.random.Generator]:
@@ -332,29 +338,28 @@ class ArrayContext:
             self.result.rounds += 1
 
     # -- CSR scatter/gather helpers -----------------------------------
+    #
+    # Delegated to the selected segment kernel (the kernel-selection
+    # seam of the scale tier): ``"reduceat"`` (the pure-NumPy reference,
+    # default) or a compiled tier such as ``"sparse"`` — all registered
+    # implementations are byte-identical (see repro.distributed.kernels).
+
+    @property
+    def kernel(self):
+        """The selected segment kernel, instantiated on first use."""
+        if self._kernel is None:
+            self._kernel = make_kernel(
+                self._kernel_name, self.indptr, self.indices, self.n
+            )
+        return self._kernel
 
     def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
-        """Per-vertex count of neighbors with ``mask`` set (``int64[n]``).
-
-        One ``reduceat`` over the gathered half-edge mask (measurably
-        cheaper than the historic cumsum-and-difference at every mask
-        density), with the usual empty-segment repair.
-        """
-        if self.indices.size == 0:
-            return np.zeros(self.n, dtype=np.int64)
-        # A zero sentinel keeps every ``indptr`` start in range without
-        # clamping (a clamp would shift the boundary of the last
-        # non-empty segment when trailing vertices have degree 0).
-        gathered = np.concatenate(
-            (mask[self.indices].astype(np.int64), [np.int64(0)])
-        )
-        out = np.add.reduceat(gathered, self.indptr[:-1])
-        out[self.indptr[:-1] == self.indptr[1:]] = 0
-        return out
+        """Per-vertex count of neighbors with ``mask`` set (``int64[n]``)."""
+        return self.kernel.masked_degrees(mask)
 
     def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
         """Per-vertex "some neighbor has ``mask`` set" (``bool[n]``)."""
-        return self.masked_degrees(mask) > 0
+        return self.kernel.masked_degrees(mask) > 0
 
     def neighbor_max(
         self, values: np.ndarray, mask: np.ndarray | None = None
@@ -362,21 +367,9 @@ class ArrayContext:
         """Per-vertex max of ``values`` over (optionally masked) neighbors.
 
         Vertices with no (masked) neighbors get 0; ``values`` must be
-        nonnegative.  ``reduceat`` over the CSR segments, with a zero
-        sentinel appended so trailing degree-0 vertices keep every
-        start in range without shifting the last non-empty segment's
-        boundary; empty segments are patched afterwards because
-        ``reduceat`` yields the element at their start index.
+        nonnegative (every kernel relies on 0 as the identity).
         """
-        if self.indices.size == 0:
-            return np.zeros(self.n, dtype=values.dtype)
-        vals = values[self.indices]
-        if mask is not None:
-            vals = np.where(mask[self.indices], vals, 0)
-        vals = np.concatenate((vals, np.zeros(1, dtype=vals.dtype)))
-        out = np.maximum.reduceat(vals, self.indptr[:-1])
-        out[self.indptr[:-1] == self.indptr[1:]] = 0
-        return out
+        return self.kernel.neighbor_max(values, mask)
 
 
 class ArrayBackend:
@@ -404,6 +397,11 @@ class ArrayBackend:
     model:
         ``LOCAL`` (default) or a CONGEST variant enforcing the
         per-message bit bound through :meth:`ArrayContext.account_groups`.
+    kernel:
+        Segment-kernel name (``repro.distributed.kernels``): ``None``
+        uses the process default (``"reduceat"`` unless overridden via
+        ``set_default_kernel``); every registered kernel is
+        byte-identical, so this only changes the wall clock.
     """
 
     def __init__(
@@ -413,6 +411,7 @@ class ArrayBackend:
         params: dict[str, Any] | None = None,
         seed: int = 0,
         model: Model = LOCAL,
+        kernel: str | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -421,7 +420,7 @@ class ArrayBackend:
         self._params = params or {}
         self.result = RunResult()
         self._ctx = ArrayContext(
-            graph, seed, model, self._limit, self.result, 0
+            graph, seed, model, self._limit, self.result, 0, kernel=kernel
         )
         self._ran = False
 
@@ -509,6 +508,8 @@ class BatchedArrayContext:
         "_messages",
         "_bits",
         "_peak",
+        "_kernel_name",
+        "_kernel",
     )
 
     def __init__(
@@ -518,6 +519,7 @@ class BatchedArrayContext:
         model: Model,
         limit: int | None,
         max_rounds: int,
+        kernel: str | None = None,
     ) -> None:
         self.graph = graph
         self.n = graph.n
@@ -528,6 +530,8 @@ class BatchedArrayContext:
         self._limit = limit
         self._seeds = list(seeds)
         self._lanes: LaneRngs | None = None
+        self._kernel_name = kernel
+        self._kernel = None
         self._rounds = np.zeros(self.num_seeds, dtype=np.int64)
         self._messages = np.zeros(self.num_seeds, dtype=np.int64)
         self._bits = np.zeros(self.num_seeds, dtype=np.int64)
@@ -624,32 +628,29 @@ class BatchedArrayContext:
         return results
 
     # -- CSR scatter/gather helpers (seed axis leading) ---------------
+    #
+    # Delegated to the selected segment kernel's batched twins (same
+    # seam as :class:`ArrayContext`; see repro.distributed.kernels).
+
+    @property
+    def kernel(self):
+        """The selected segment kernel, instantiated on first use."""
+        if self._kernel is None:
+            self._kernel = make_kernel(
+                self._kernel_name, self.indptr, self.indices, self.n
+            )
+        return self._kernel
 
     def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
         """Per-(seed, vertex) count of neighbors with ``mask`` set.
 
-        ``mask`` is ``bool[num_seeds, n]``; one ``reduceat`` per seed
-        row over the shared half-edge array (cheaper than the historic
-        per-row cumsum at every mask density), with the usual
-        empty-segment repair.
+        ``mask`` is ``bool[num_seeds, n]``.
         """
-        if self.indices.size == 0:
-            return np.zeros((self.num_seeds, self.n), dtype=np.int64)
-        # Zero-sentinel column: see :meth:`ArrayContext.masked_degrees`.
-        gathered = np.concatenate(
-            (
-                mask[:, self.indices].astype(np.int64),
-                np.zeros((self.num_seeds, 1), dtype=np.int64),
-            ),
-            axis=1,
-        )
-        out = np.add.reduceat(gathered, self.indptr[:-1], axis=1)
-        out[:, self.indptr[:-1] == self.indptr[1:]] = 0
-        return out
+        return self.kernel.batched_masked_degrees(mask)
 
     def neighbor_any(self, mask: np.ndarray) -> np.ndarray:
         """Per-(seed, vertex) "some neighbor has ``mask`` set"."""
-        return self.masked_degrees(mask) > 0
+        return self.kernel.batched_masked_degrees(mask) > 0
 
     def neighbor_max(
         self, values: np.ndarray, mask: np.ndarray | None = None
@@ -657,21 +658,9 @@ class BatchedArrayContext:
         """Per-(seed, vertex) max of ``values`` over (masked) neighbors.
 
         ``values`` is ``(num_seeds, n)`` and must be nonnegative;
-        vertices with no (masked) neighbors get 0, with the same
-        zero-sentinel and empty-segment repair as
-        :meth:`ArrayContext.neighbor_max`.
+        vertices with no (masked) neighbors get 0.
         """
-        if self.indices.size == 0:
-            return np.zeros((self.num_seeds, self.n), dtype=values.dtype)
-        vals = values[:, self.indices]
-        if mask is not None:
-            vals = np.where(mask[:, self.indices], vals, 0)
-        vals = np.concatenate(
-            (vals, np.zeros((self.num_seeds, 1), dtype=vals.dtype)), axis=1
-        )
-        out = np.maximum.reduceat(vals, self.indptr[:-1], axis=1)
-        out[:, self.indptr[:-1] == self.indptr[1:]] = 0
-        return out
+        return self.kernel.batched_neighbor_max(values, mask)
 
 
 class BatchedArrayBackend:
@@ -709,6 +698,7 @@ class BatchedArrayBackend:
         params: dict[str, Any] | None = None,
         seeds: Sequence[int] = (0,),
         model: Model = LOCAL,
+        kernel: str | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -718,7 +708,7 @@ class BatchedArrayBackend:
         self._params = params or {}
         self.results: list[RunResult] | None = None
         self._ctx = BatchedArrayContext(
-            graph, self.seeds, model, self._limit, 0
+            graph, self.seeds, model, self._limit, 0, kernel=kernel
         )
 
     def prepare(self) -> "BatchedArrayBackend":

@@ -1,0 +1,322 @@
+"""Segment-reduction kernels behind the ArrayContext selection seam.
+
+The array backends' hot inner loops are three CSR segment reductions —
+``masked_degrees`` / ``neighbor_any`` / ``neighbor_max`` (and their
+``(num_seeds, n)`` batched twins).  This module gives them a **kernel
+tier**: interchangeable implementations registered by name, all
+required to be byte-identical on every input (the golden suite pins
+this), selected per backend via ``ArrayBackend(..., kernel=...)`` or
+globally via :func:`set_default_kernel`.
+
+* ``"reduceat"`` — the pure-NumPy reference: gather + ``ufunc.reduceat``
+  with a zero sentinel and empty-segment repair (the PR 5 semantics,
+  moved here verbatim).  Always available; the default.
+* ``"sparse"`` — ``scipy.sparse`` formulations: ``masked_degrees`` is
+  one CSR matvec ``A @ mask`` (and the batched form one CSR×dense
+  matmul ``A @ mask.T``); ``neighbor_max`` reuses the graph's
+  ``indptr``/``indices`` with per-call data and reduces with scipy's
+  compiled ``max(axis=1)``.  Registered only when scipy imports —
+  scipy is an *optional* dependency of this repo (the tier-1 CI
+  environment installs NumPy only), so everything here degrades
+  gracefully to ``"reduceat"``.
+* ``"numba"`` — explicit segment loops JIT-compiled at first use.
+  Registered only when numba imports; this container does not ship it,
+  so the implementation is a straightforward fallback tier kept for
+  environments that do.
+
+All counts are returned as ``int64`` regardless of the graph's compact
+index dtype (the accounting layer sums in int64); ``neighbor_max``
+preserves the dtype of ``values``.  Results for vertices with no
+(masked) neighbors are 0, and ``values`` must be nonnegative — the same
+contract the reduceat reference documents.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+try:  # optional compiled tier
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - exercised in scipy-less CI
+    _sparse = None
+
+try:  # optional compiled tier (not shipped in the default container)
+    import numba as _numba
+except ImportError:
+    _numba = None
+
+
+class ReduceatKernel:
+    """The pure-NumPy reference kernel (always available)."""
+
+    name = "reduceat"
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.n = n
+        self._empty = indptr[:-1] == indptr[1:]
+
+    def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        if self.indices.size == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        # A zero sentinel keeps every ``indptr`` start in range without
+        # clamping (a clamp would shift the boundary of the last
+        # non-empty segment when trailing vertices have degree 0).
+        gathered = np.concatenate(
+            (mask[self.indices].astype(np.int64), [np.int64(0)])
+        )
+        out = np.add.reduceat(gathered, self.indptr[:-1])
+        out[self._empty] = 0
+        return out
+
+    def neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        if self.indices.size == 0:
+            return np.zeros(self.n, dtype=values.dtype)
+        vals = values[self.indices]
+        if mask is not None:
+            vals = np.where(mask[self.indices], vals, 0)
+        vals = np.concatenate((vals, np.zeros(1, dtype=vals.dtype)))
+        out = np.maximum.reduceat(vals, self.indptr[:-1])
+        out[self._empty] = 0
+        return out
+
+    def batched_masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        num_seeds = mask.shape[0]
+        if self.indices.size == 0:
+            return np.zeros((num_seeds, self.n), dtype=np.int64)
+        gathered = np.concatenate(
+            (
+                mask[:, self.indices].astype(np.int64),
+                np.zeros((num_seeds, 1), dtype=np.int64),
+            ),
+            axis=1,
+        )
+        out = np.add.reduceat(gathered, self.indptr[:-1], axis=1)
+        out[:, self._empty] = 0
+        return out
+
+    def batched_neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        num_seeds = values.shape[0]
+        if self.indices.size == 0:
+            return np.zeros((num_seeds, self.n), dtype=values.dtype)
+        vals = values[:, self.indices]
+        if mask is not None:
+            vals = np.where(mask[:, self.indices], vals, 0)
+        vals = np.concatenate(
+            (vals, np.zeros((num_seeds, 1), dtype=vals.dtype)), axis=1
+        )
+        out = np.maximum.reduceat(vals, self.indptr[:-1], axis=1)
+        out[:, self._empty] = 0
+        return out
+
+
+class SparseKernel:
+    """scipy.sparse matvec formulations (registered when scipy imports).
+
+    The adjacency structure is wrapped **once** as a CSR matrix of unit
+    weights; ``masked_degrees`` is then a compiled matvec and the
+    batched form a CSR×dense matmul.  ``neighbor_max`` builds a
+    same-structure CSR over per-call gathered data — no index copies,
+    only the data vector — and reduces with scipy's ``max(axis=1)``,
+    whose implicit zeros on short/empty rows reproduce the reference
+    kernel's "no (masked) neighbors -> 0" contract exactly (``values``
+    are nonnegative by contract).  Counts and maxima are integer-exact,
+    so results are byte-identical to ``"reduceat"``.
+    """
+
+    name = "sparse"
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+        if _sparse is None:  # pragma: no cover - guarded by registry
+            raise RuntimeError("scipy is not available")
+        self.indptr = indptr
+        self.n = n
+        # The graph's half-edges sit in *port order* (insertion order per
+        # vertex), and the Graph views are read-only — scipy's reductions
+        # would otherwise try to sort them in place.  Build one owned,
+        # column-sorted index copy; per-row reductions are order-free, so
+        # results are unchanged.
+        rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        order = np.lexsort((indices, rows))
+        self.indices = np.ascontiguousarray(indices[order])
+        self._ones = np.ones(indices.size, dtype=np.int64)
+        self._adj = self._data_matrix(self._ones)
+
+    def _data_matrix(self, data: np.ndarray) -> "object":
+        mat = _sparse.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.n, self.n),
+            copy=False,
+        )
+        # Sorted at init + simple graph => already canonical; this stops
+        # scipy from re-sorting (in place) on every reduction.
+        mat.has_canonical_format = True
+        return mat
+
+    def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        if self.indices.size == 0:
+            return np.zeros(self.n, dtype=np.int64)
+        return self._adj @ mask.astype(np.int64)
+
+    def neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        if self.indices.size == 0:
+            return np.zeros(self.n, dtype=values.dtype)
+        vals = values[self.indices]
+        if mask is not None:
+            vals = np.where(mask[self.indices], vals, 0)
+        out = self._data_matrix(vals).max(axis=1)
+        return np.asarray(out.todense()).reshape(-1).astype(values.dtype, copy=False)
+
+    def batched_masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        num_seeds = mask.shape[0]
+        if self.indices.size == 0:
+            return np.zeros((num_seeds, self.n), dtype=np.int64)
+        # (n, n) @ (n, num_seeds) -> transpose back to (num_seeds, n).
+        return np.ascontiguousarray((self._adj @ mask.astype(np.int64).T).T)
+
+    def batched_neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        num_seeds = values.shape[0]
+        if self.indices.size == 0:
+            return np.zeros((num_seeds, self.n), dtype=values.dtype)
+        # scipy's max(axis=1) is per-matrix; one data swap per seed row.
+        out = np.empty((num_seeds, self.n), dtype=values.dtype)
+        for s in range(num_seeds):
+            out[s] = self.neighbor_max(
+                values[s], None if mask is None else mask[s]
+            )
+        return out
+
+
+class NumbaKernel:
+    """Explicit JIT-compiled segment loops (registered when numba imports)."""
+
+    name = "numba"
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, n: int) -> None:
+        if _numba is None:  # pragma: no cover - guarded by registry
+            raise RuntimeError("numba is not available")
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.n = n
+        self._deg_jit = _numba_masked_degrees()
+        self._max_jit = _numba_neighbor_max()
+
+    def masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        return self._deg_jit(
+            self.indptr, self.indices, np.ascontiguousarray(mask)
+        )
+
+    def neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        use_mask = mask is not None
+        if mask is None:
+            mask = np.ones(self.n, dtype=bool)
+        return self._max_jit(
+            self.indptr, self.indices,
+            np.ascontiguousarray(values), np.ascontiguousarray(mask), use_mask,
+        )
+
+    def batched_masked_degrees(self, mask: np.ndarray) -> np.ndarray:
+        return np.stack([self.masked_degrees(row) for row in mask])
+
+    def batched_neighbor_max(
+        self, values: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        return np.stack([
+            self.neighbor_max(values[s], None if mask is None else mask[s])
+            for s in range(values.shape[0])
+        ])
+
+
+def _numba_masked_degrees():  # pragma: no cover - needs numba
+    @_numba.njit(cache=True)
+    def kernel(indptr, indices, mask):
+        n = indptr.size - 1
+        out = np.zeros(n, dtype=np.int64)
+        for v in range(n):
+            acc = 0
+            for k in range(indptr[v], indptr[v + 1]):
+                if mask[indices[k]]:
+                    acc += 1
+            out[v] = acc
+        return out
+
+    return kernel
+
+
+def _numba_neighbor_max():  # pragma: no cover - needs numba
+    @_numba.njit(cache=True)
+    def kernel(indptr, indices, values, mask, use_mask):
+        n = indptr.size - 1
+        out = np.zeros(n, dtype=values.dtype)
+        for v in range(n):
+            best = values.dtype.type(0)
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                if not use_mask or mask[u]:
+                    if values[u] > best:
+                        best = values[u]
+            out[v] = best
+        return out
+
+    return kernel
+
+
+#: Registered kernels, by name.  ``"reduceat"`` is always present; the
+#: compiled tiers register themselves only when their import succeeds.
+KERNELS: dict[str, Callable[[np.ndarray, np.ndarray, int], object]] = {
+    "reduceat": ReduceatKernel,
+}
+if _sparse is not None:
+    KERNELS["sparse"] = SparseKernel
+if _numba is not None:  # pragma: no cover - not in the default container
+    KERNELS["numba"] = NumbaKernel
+
+_DEFAULT_KERNEL = "reduceat"
+
+
+def available_kernels() -> list[str]:
+    """Names of the kernels importable in this environment."""
+    return sorted(KERNELS)
+
+
+def get_default_kernel() -> str:
+    """The kernel used when a backend does not pass ``kernel=``."""
+    return _DEFAULT_KERNEL
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous one."""
+    global _DEFAULT_KERNEL
+    resolve_kernel(name)  # validate
+    prev = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = name
+    return prev
+
+
+def resolve_kernel(name: str | None):
+    """Kernel class for ``name`` (default when ``None``); ValueError on unknowns."""
+    if name is None:
+        name = _DEFAULT_KERNEL
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {available_kernels()}"
+        ) from None
+
+
+def make_kernel(name: str | None, indptr: np.ndarray, indices: np.ndarray, n: int):
+    """Instantiate the named kernel over one CSR structure."""
+    return resolve_kernel(name)(indptr, indices, n)

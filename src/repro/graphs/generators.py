@@ -23,13 +23,32 @@ experiment is reproducible.  Families:
 The random families are sampled with NumPy batch operations (stub
 shuffles, Bernoulli masks, vectorized unranking) rather than per-edge
 Python loops, so million-edge instances stay cheap.
+
+Streamed construction (the scale tier, ISSUE 7): the unbounded-size
+families — ``gnp_random``, ``gnm_random``, ``barabasi_albert``,
+``watts_strogatz``, ``powerlaw_configuration`` — emit their edges as
+chunked NumPy arrays into :meth:`Graph.from_edge_chunks`; no Python
+edge list (~100 bytes/edge) is ever materialized.  ``gnp_random`` /
+``gnm_random`` / ``powerlaw_configuration`` produce bit-identical
+graphs to their pre-stream scalar forms for integer seeds (the
+underlying draws are unchanged; only the unranking/dedup is
+vectorized).  ``barabasi_albert`` and ``watts_strogatz`` define new
+seeded streams (their old forms were inherently one-edge-at-a-time);
+the affected goldens were recaptured, per the PR 6 precedent.  When a
+shared ``np.random.Generator`` instance is passed instead of an int
+seed, block drawing may consume more raw draws than the scalar loops
+did — the produced graph is unaffected, but the generator's subsequent
+state can differ.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, sorted_unique
+
+#: Edge-chunk granularity for the streamed generators.
+_CHUNK = 1 << 18
 
 
 def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -38,64 +57,97 @@ def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def _unrank_edges(n: int, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized unranking: lexicographic pair rank -> (u, v), u < v.
+
+    Rank 0 is (0, 1); row ``u`` starts at ``u*(2n-u-1)//2``.  The row
+    is located with one float ``sqrt`` and repaired with the same
+    integer guards the scalar loop used (float rounding can be off by
+    one; each guard moves monotonically, so the repair loop runs at
+    most a couple of passes over the whole array).
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    s = 2 * n - 1
+    u = ((s - np.sqrt(s * s - 8.0 * idx.astype(np.float64))) // 2).astype(
+        np.int64
+    )
+    np.clip(u, 0, max(n - 2, 0), out=u)
+    while True:
+        base = u * (2 * n - u - 1) // 2
+        over = base > idx
+        if over.any():
+            u[over] -= 1
+            continue
+        under = base + (n - u - 1) <= idx
+        if under.any():
+            u[under] += 1
+            continue
+        break
+    return u, u + 1 + (idx - base)
+
+
 def gnp_random(n: int, p: float, seed: int | np.random.Generator | None = 0) -> Graph:
     """Erdős–Rényi G(n, p).
 
     Sampled via geometric edge skipping, O(n + m) expected time, so
-    large sparse instances are cheap.
+    large sparse instances are cheap.  Streamed: the Geometric(p) gaps
+    are drawn in blocks (``rng.random`` fills arrays from the same
+    uniform stream the scalar loop consumed, so the produced graph is
+    bit-identical for integer seeds), cumulative-summed into edge
+    ranks, and unranked chunk by chunk into
+    :meth:`Graph.from_edge_chunks`.
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"p must be in [0,1], got {p}")
     rng = _rng(seed)
-    edges: list[tuple[int, int]] = []
     if p == 0.0 or n < 2:
-        return Graph(n, edges)
+        return Graph(n)
     if p == 1.0:
         return complete_graph(n)
     # Iterate over the n*(n-1)/2 potential edges in lexicographic order,
-    # jumping ahead by Geometric(p) each time.
+    # jumping ahead by Geometric(p) each time (gap >= 1).
     lp = np.log1p(-p)
     total = n * (n - 1) // 2
-    idx = -1
+    chunks: list[np.ndarray] = []
+    last = -1  # rank of the previously emitted edge
     while True:
-        # Geometric(p) gap >= 1
-        gap = 1 + int(np.floor(np.log(1.0 - rng.random()) / lp))
-        idx += gap
-        if idx >= total:
-            break
-        # Unrank idx -> (u, v), u < v.
-        u = int((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * idx)) // 2)
-        # First index of row u:
-        base = u * (2 * n - u - 1) // 2
-        while base > idx:  # guard against float rounding in the unrank
-            u -= 1
-            base = u * (2 * n - u - 1) // 2
-        while base + (n - u - 1) <= idx:
-            base += n - u - 1
-            u += 1
-        v = u + 1 + (idx - base)
-        edges.append((u, v))
-    return Graph(n, edges)
+        gaps = 1 + np.floor(
+            np.log(1.0 - rng.random(_CHUNK)) / lp
+        ).astype(np.int64)
+        ranks = last + np.cumsum(gaps)
+        done = bool(ranks[-1] >= total)
+        if done:
+            ranks = ranks[ranks < total]
+        else:
+            last = int(ranks[-1])
+        if ranks.size:
+            u, v = _unrank_edges(n, ranks)
+            chunks.append(np.stack([u, v], axis=1))
+        if done:
+            return Graph.from_edge_chunks(n, chunks)
 
 
 def gnm_random(n: int, m: int, seed: int | np.random.Generator | None = 0) -> Graph:
-    """Uniform random graph with exactly ``m`` edges."""
+    """Uniform random graph with exactly ``m`` edges.
+
+    The draw (``rng.choice`` without replacement over the pair ranks)
+    never materializes the rank population, so it works at any n; the
+    chosen ranks are unranked vectorized, chunk by chunk, in draw order
+    — bit-identical to the retired per-edge scalar loop, which was
+    O(m·n) worst case.
+    """
     total = n * (n - 1) // 2
     if m > total:
         raise ValueError(f"m={m} exceeds the {total} possible edges")
     rng = _rng(seed)
     chosen = rng.choice(total, size=m, replace=False)
-    edges = []
-    for idx in chosen:
-        idx = int(idx)
-        u = 0
-        base = 0
-        while base + (n - u - 1) <= idx:
-            base += n - u - 1
-            u += 1
-        v = u + 1 + (idx - base)
-        edges.append((u, v))
-    return Graph(n, edges)
+
+    def _chunks():
+        for s in range(0, m, _CHUNK):
+            u, v = _unrank_edges(n, chosen[s: s + _CHUNK])
+            yield np.stack([u, v], axis=1)
+
+    return Graph.from_edge_chunks(n, _chunks())
 
 
 def bipartite_random(
@@ -318,6 +370,14 @@ def barabasi_albert(
     ``m_attach``; hub degrees follow the familiar power law, the
     high-skew regime the matching algorithms' Δ-dependent round bounds
     care about.
+
+    Streamed implementation (ISSUE 7): the pool is arithmetic, never
+    materialized — a drawn slot decodes to a core vertex, an edge's
+    source, or a *pointer* to an earlier edge's target, and all draws
+    are batched with pointer chasing plus duplicate-redraw rounds
+    instead of the old per-vertex Python loop.  Same model, new seeded
+    stream (bit-compatibility with the scalar loop is impractical);
+    the BA goldens were recaptured, per the PR 6 precedent.
     """
     if m_attach < 1:
         raise ValueError(f"m_attach must be >= 1, got {m_attach}")
@@ -325,22 +385,76 @@ def barabasi_albert(
         raise ValueError(f"need n > m_attach+1 = {m_attach + 1}, got n={n}")
     rng = _rng(seed)
     m0 = m_attach + 1
-    edges = [(u, v) for u in range(m0) for v in range(u + 1, m0)]
-    total_edges = len(edges) + (n - m0) * m_attach
-    pool = np.empty(2 * total_edges, dtype=np.int64)
-    fill = 2 * len(edges)
-    pool[:fill] = np.repeat(np.arange(m0), m_attach)
-    for v in range(m0, n):
-        targets: set[int] = set()
-        while len(targets) < m_attach:
-            draw = rng.choice(pool[:fill], size=m_attach - len(targets))
-            targets.update(int(t) for t in draw)
-        for t in sorted(targets):
-            edges.append((t, v))
-            pool[fill] = t
-            pool[fill + 1] = v
-            fill += 2
-    return Graph(n, edges)
+    ma = m_attach
+    # K_{m0} core; its pool slots are vertex 0 repeated deg=m_attach
+    # times, then vertex 1, ... (slot // m_attach decodes the vertex).
+    cu, cv = np.triu_indices(m0, k=1)
+    core = np.stack([cu, cv], axis=1).astype(np.int64)
+    f0 = m0 * (m0 - 1)  # pool slots owned by the core
+    nv = n - m0  # attaching vertices; vertex of row r is m0 + r
+    # The pool is never materialized: slot s of attachment edge e is
+    # decoded arithmetically — s < f0 is a core slot, odd offsets are
+    # the edge's source vertex m0 + e//ma, even offsets *point at* the
+    # target of edge e (a pointer chase into earlier rows).  A draw for
+    # row r sees exactly the pool of the first m0 + r vertices:
+    fills = f0 + 2 * ma * np.arange(nv, dtype=np.int64)
+    targets = np.full((nv, ma), -1, dtype=np.int64)
+    need_draw = np.ones((nv, ma), dtype=bool)  # slots needing fresh rng
+    pending = np.zeros((nv, ma), dtype=bool)  # drawn, awaiting referee
+    accepted = np.zeros(nv, dtype=bool)  # rows final (referenceable)
+    idx = np.empty((nv, ma), dtype=np.int64)
+    while not accepted.all():
+        rows, cols = np.nonzero(need_draw)
+        if rows.size:
+            # One batched draw for every slot that needs one, row-major
+            # — a kept draw is never redrawn while its referee is still
+            # unaccepted (that would bias against recent edges); it
+            # simply resolves in a later round.
+            idx[rows, cols] = rng.integers(0, fills[rows])
+            pending[rows, cols] = True
+            need_draw[rows, cols] = False
+        rows, cols = np.nonzero(pending)
+        ii = idx[rows, cols]
+        val = np.full(rows.size, -1, dtype=np.int64)
+        init = ii < f0
+        val[init] = ii[init] // ma
+        j = ii - f0
+        odd = ~init & (j % 2 == 1)
+        val[odd] = m0 + (j[odd] // 2) // ma
+        ev = np.flatnonzero(~init & ~odd)
+        ref = j[ev] // 2
+        rrow, rcol = ref // ma, ref % ma
+        ok = accepted[rrow]  # unaccepted referees resolve next round
+        val[ev[ok]] = targets[rrow[ok], rcol[ok]]
+        res = val >= 0
+        targets[rows[res], cols[res]] = val[res]
+        pending[rows[res], cols[res]] = False
+        # Rows with every slot resolved: accept if the targets are
+        # distinct (sorted, as the scalar version emitted them), else
+        # keep each value's first slot and redraw the later duplicates.
+        full = np.flatnonzero(
+            ~accepted & ~(pending | need_draw).any(axis=1)
+        )
+        if full.size == 0:
+            continue
+        t = np.sort(targets[full], axis=1)
+        dup_row = (t[:, 1:] == t[:, :-1]).any(axis=1)
+        good = full[~dup_row]
+        targets[good] = t[~dup_row]
+        accepted[good] = True
+        bad = full[dup_row]
+        if bad.size:
+            tb = targets[bad]
+            rr = np.repeat(np.arange(bad.size), ma)
+            cc = np.tile(np.arange(ma), bad.size)
+            order = np.lexsort((cc, tb.ravel(), rr))
+            tv, rv, cold = tb.ravel()[order], rr[order], cc[order]
+            dup = np.zeros(tv.size, dtype=bool)
+            dup[1:] = (tv[1:] == tv[:-1]) & (rv[1:] == rv[:-1])
+            need_draw[bad[rv[dup]], cold[dup]] = True
+    src = np.repeat(m0 + np.arange(nv, dtype=np.int64), ma)
+    attach = np.stack([targets.ravel(), src], axis=1)
+    return Graph.from_edge_chunks(n, [core, attach])
 
 
 def watts_strogatz(
@@ -356,6 +470,14 @@ def watts_strogatz(
     whose far endpoints are rewired independently with probability
     ``beta``.  Interpolates between the high-girth structured regime
     (β=0) and G(n, k/n)-like randomness (β=1).
+
+    Streamed implementation (ISSUE 7): the rewire mask is one draw (as
+    before), then all rewired edges choose their new far endpoints
+    *simultaneously*, with batched rejection rounds against self-loops,
+    existing edges, and intra-batch collisions (earliest lattice edge
+    keeps a contested pair) — instead of the old one-edge-at-a-time
+    adjacency-set walk.  Same model, new seeded stream; edge count is
+    still exactly ``n * k / 2``.
     """
     if k % 2 != 0:
         raise ValueError(f"k must be even, got {k}")
@@ -364,29 +486,53 @@ def watts_strogatz(
     if not 0.0 <= beta <= 1.0:
         raise ValueError(f"beta must be in [0,1], got {beta}")
     rng = _rng(seed)
-    base = np.arange(n)
-    lattice: list[tuple[int, int]] = []
-    for d in range(1, k // 2 + 1):
-        far = (base + d) % n
-        lattice.extend(zip(base.tolist(), far.tolist()))
-    adj: list[set[int]] = [set() for _ in range(n)]
-    for u, v in lattice:
-        adj[u].add(v)
-        adj[v].add(u)
-    rewire = rng.random(len(lattice)) < beta
-    edges: list[tuple[int, int]] = []
-    for (u, v), rw in zip(lattice, rewire.tolist()):
-        if rw and len(adj[u]) < n - 1:
-            w = int(rng.integers(n))
-            while w == u or w in adj[u]:
-                w = int(rng.integers(n))
-            adj[u].remove(v)
-            adj[v].remove(u)
-            adj[u].add(w)
-            adj[w].add(u)
-            v = w
-        edges.append((u, v))
-    return Graph(n, edges)
+    base = np.arange(n, dtype=np.int64)
+    us = np.tile(base, k // 2)
+    offs = np.repeat(np.arange(1, k // 2 + 1, dtype=np.int64), n)
+    vs = (us + offs) % n
+    rewire = rng.random(us.size) < beta
+    pending = np.flatnonzero(rewire)
+    # Rewired edges leave the key set before their targets are drawn.
+    existing = np.sort(
+        np.minimum(us[~rewire], vs[~rewire]) * n + np.maximum(us[~rewire], vs[~rewire])
+    )
+    stuck_rounds = 0
+    while pending.size:
+        w = rng.integers(0, n, size=pending.size)
+        cu = us[pending]
+        ck = np.minimum(cu, w) * n + np.maximum(cu, w)
+        bad = w == cu
+        if existing.size:
+            pos = np.minimum(np.searchsorted(existing, ck), existing.size - 1)
+            bad |= existing[pos] == ck
+        # Intra-batch collisions: the earliest lattice edge keeps the
+        # pair, later ones redraw.
+        order = np.lexsort((pending, ck))
+        sk = ck[order]
+        later = np.zeros(sk.size, dtype=bool)
+        later[1:] = sk[1:] == sk[:-1]
+        bad[order[later]] = True
+        good = ~bad
+        vs[pending[good]] = w[good]
+        existing = np.sort(np.concatenate([existing, ck[good]]))
+        pending = pending[bad]
+        stuck_rounds = stuck_rounds + 1 if not good.any() else 0
+        if stuck_rounds > 200:
+            # Only reachable when some u is adjacent to every other
+            # vertex (no valid target) — the regime the scalar version
+            # guarded with its degree check.  Give the survivors their
+            # original lattice partners back.
+            orig = np.minimum(us[pending], vs[pending]) * n + np.maximum(
+                us[pending], vs[pending]
+            )
+            pos = np.minimum(np.searchsorted(existing, orig), existing.size - 1)
+            if existing.size and (existing[pos] == orig).any():
+                raise RuntimeError(
+                    "watts_strogatz could not complete rewiring: a "
+                    "saturated vertex's original edge was already taken"
+                )
+            break
+    return Graph.from_edge_chunks(n, [np.stack([us, vs], axis=1)])
 
 
 def powerlaw_configuration(
@@ -418,14 +564,23 @@ def powerlaw_configuration(
     )
     if int(degrees.sum()) % 2 != 0:
         degrees[0] += 1 if degrees[0] < n - 1 else -1
-    stubs = np.repeat(np.arange(n), degrees)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
     rng.shuffle(stubs)
     pairs = stubs.reshape(-1, 2)
     lo = np.minimum(pairs[:, 0], pairs[:, 1])
     hi = np.maximum(pairs[:, 0], pairs[:, 1])
-    keep = lo != hi  # erase self-loops
-    unique = np.unique(np.stack([lo[keep], hi[keep]], axis=1), axis=0)
-    return Graph(n, unique)
+    # Erase self-loops and parallel edges on flat keys (bit-identical
+    # to the old row-wise ``np.unique(..., axis=0)``, which sorts the
+    # same lexicographic order but much slower), then stream the
+    # surviving edges out in chunks.
+    keys = sorted_unique(lo[lo != hi] * n + hi[lo != hi])
+
+    def _chunks():
+        for s in range(0, keys.size, _CHUNK):
+            kk = keys[s: s + _CHUNK]
+            yield np.stack([kk // n, kk % n], axis=1)
+
+    return Graph.from_edge_chunks(n, _chunks())
 
 
 def kronecker(

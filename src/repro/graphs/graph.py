@@ -10,11 +10,27 @@ edge).
 Storage is an immutable CSR (compressed sparse row) core built once at
 construction with vectorized NumPy passes:
 
-* ``indptr`` — ``int64[n+1]``; vertex ``v``'s incident half-edges live
-  at positions ``indptr[v]:indptr[v+1]``;
-* ``indices`` — ``int64[2m]``; the neighbor at each half-edge slot;
-* ``eids`` — ``int64[2m]``; the edge id at each half-edge slot;
-* ``weights`` — ``float64[m]`` or ``None`` (unweighted).
+* ``indptr`` — ``index_dtype[n+1]``; vertex ``v``'s incident half-edges
+  live at positions ``indptr[v]:indptr[v+1]``;
+* ``indices`` — ``index_dtype[2m]``; the neighbor at each half-edge slot;
+* ``eids`` — ``index_dtype[2m]``; the edge id at each half-edge slot;
+* ``weights`` — ``weight_dtype[m]`` or ``None`` (unweighted).
+
+**Compact index dtype (the scale tier).**  ``index_dtype`` is selected
+automatically: ``int32`` whenever both ``n`` and ``2m`` fit (i.e.
+``n <= INT32_INDEX_LIMIT`` and ``2m <= INT32_INDEX_LIMIT``), ``int64``
+otherwise — halving CSR memory for every graph this repo can actually
+hold in RAM.  An explicit ``index_dtype=`` request that cannot address
+the graph raises ``ValueError`` (the overflow guard) rather than
+silently wrapping.  All index *math* that could overflow int32 (the
+``u*n+v`` edge keys used by validation and ``edge_id``) is performed in
+int64 regardless of the storage dtype.  Algorithm results are
+byte-identical under either tier — consumers treat the CSR arrays as
+dtype-agnostic indexers — which the golden suite asserts under the
+:func:`forced_index_dtype` test hook.  ``weight_dtype`` stays
+``float64`` by default (weight arithmetic feeds byte-identical
+RunResults); ``float32`` is an explicit opt-in for memory-bound
+workloads that do not require the pinned semantics.
 
 **Port-numbering invariant.**  Within vertex ``v``'s CSR slice, half-
 edges appear in *edge-insertion order* — the position of a half-edge in
@@ -42,15 +58,100 @@ vectorized algorithm code.  All returned array views are read-only.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 _EMPTY_EDGES = np.empty((0, 2), dtype=np.int64)
 
+#: Largest value an int32 index can address.  ``Graph`` stores its CSR
+#: arrays as int32 whenever ``n <= INT32_INDEX_LIMIT`` and
+#: ``2m <= INT32_INDEX_LIMIT``.  Module-level (not baked into any
+#: closure) so boundary tests can monkeypatch it down to a small value
+#: and exercise the promotion threshold without allocating 2^31 slots.
+INT32_INDEX_LIMIT = int(np.iinfo(np.int32).max)
+
+_INDEX_DTYPES = (np.dtype(np.int32), np.dtype(np.int64))
+_WEIGHT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+#: When set (via :func:`forced_index_dtype`), overrides the automatic
+#: index-dtype selection for constructions that do not pass an explicit
+#: ``index_dtype=``.  Test hook for the dtype-identity suite.
+_FORCED_INDEX_DTYPE: np.dtype | None = None
+
+
+@contextlib.contextmanager
+def forced_index_dtype(dtype: object) -> Iterator[None]:
+    """Force every ``Graph`` built in this context onto one index dtype.
+
+    Behaves exactly like passing ``index_dtype=dtype`` to each
+    construction (including the overflow guard), so the golden suite
+    can be replayed under both tiers to assert byte-identity.  Explicit
+    ``index_dtype=`` arguments still win over the forced value.
+    """
+    global _FORCED_INDEX_DTYPE
+    prev = _FORCED_INDEX_DTYPE
+    _FORCED_INDEX_DTYPE = None if dtype is None else np.dtype(dtype)
+    try:
+        yield
+    finally:
+        _FORCED_INDEX_DTYPE = prev
+
+
+def _fits_int32(n: int, m: int) -> bool:
+    return n <= INT32_INDEX_LIMIT and 2 * m <= INT32_INDEX_LIMIT
+
+
+def select_index_dtype(n: int, m: int) -> np.dtype:
+    """The index dtype the compact tier picks for an ``(n, m)`` graph."""
+    return _INDEX_DTYPES[0] if _fits_int32(n, m) else _INDEX_DTYPES[1]
+
+
+def _resolve_index_dtype(n: int, m: int, requested: object) -> np.dtype:
+    if requested is None:
+        requested = _FORCED_INDEX_DTYPE
+    if requested is None:
+        return select_index_dtype(n, m)
+    dt = np.dtype(requested)
+    if dt not in _INDEX_DTYPES:
+        raise ValueError(
+            f"index_dtype must be int32 or int64, got {dt}"
+        )
+    if dt == np.dtype(np.int32) and not _fits_int32(n, m):
+        raise ValueError(
+            f"index_dtype=int32 cannot address a graph with n={n}, "
+            f"2m={2 * m} (limit {INT32_INDEX_LIMIT}); use int64 or let "
+            "Graph promote automatically"
+        )
+    return dt
+
+
+def sorted_unique(a: np.ndarray) -> np.ndarray:
+    """Sorted distinct values — sort + run-length mask.
+
+    ``np.unique`` on this NumPy switches to a hash table for large
+    int64 inputs, which profiles ~10x slower than a plain sort on the
+    tens-of-millions-element key arrays the scale tier produces (flood
+    candidate keys, conflict-pair keys) — and those callers need the
+    sorted order anyway.
+    """
+    a = np.sort(a)
+    if a.size:
+        keep = np.empty(a.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(a[1:], a[:-1], out=keep[1:])
+        a = a[keep]
+    return a
+
 
 def _as_edge_array(edges: object) -> np.ndarray:
-    """Normalize an edge iterable / array to an ``(m, 2) int64`` array."""
+    """Normalize an edge iterable / array to an ``(m, 2)`` integer array.
+
+    int32 and int64 arrays pass through without a widening copy (the
+    streamed generators hand over compact chunks); everything else is
+    normalized to int64.
+    """
     if isinstance(edges, np.ndarray):
         arr = edges
         if arr.size == 0:
@@ -68,6 +169,8 @@ def _as_edge_array(edges: object) -> np.ndarray:
         raise TypeError(
             f"edge endpoints must be integers, got dtype {arr.dtype}"
         )
+    if arr.dtype in (np.dtype(np.int32), np.dtype(np.int64)):
+        return arr
     return arr.astype(np.int64, copy=False)
 
 
@@ -85,6 +188,14 @@ class Graph:
         Optional sequence (or array) of positive edge weights, aligned
         with ``edges``.  ``None`` means the graph is unweighted (all
         queries through :meth:`weight` return 1.0).
+    index_dtype:
+        Storage dtype for the CSR index arrays (``int32`` / ``int64``).
+        ``None`` (the default) auto-selects the compact tier (module
+        docstring); an explicit dtype that cannot address the graph
+        raises ``ValueError``.
+    weight_dtype:
+        Storage dtype for the weights (``float64`` default; ``float32``
+        is a memory-bound opt-in without the byte-identity pin).
     """
 
     __slots__ = (
@@ -105,6 +216,9 @@ class Graph:
         "_sorted_eids",
         "_max_degree",
         "_unit_weights",
+        "_weight_dtype",
+        "_edge_key_sorted",
+        "_edge_key_order",
     )
 
     def __init__(
@@ -112,18 +226,22 @@ class Graph:
         n: int,
         edges: Iterable[tuple[int, int]] | np.ndarray = (),
         weights: Sequence[float] | np.ndarray | None = None,
+        *,
+        index_dtype: object = None,
+        weight_dtype: object = None,
     ) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be nonnegative, got {n}")
         self.n = n
         earr = _as_edge_array(edges)
         m = self.m = len(earr)
+        idt = _resolve_index_dtype(n, m, index_dtype)
         u = earr[:, 0]
         v = earr[:, 1]
         if m:
             self._validate_topology(earr, u, v)
-        self._lo = np.minimum(u, v)
-        self._hi = np.maximum(u, v)
+        self._lo = np.minimum(u, v).astype(idt, copy=False)
+        self._hi = np.maximum(u, v).astype(idt, copy=False)
         # CSR build: interleave the two directed half-edges of each edge
         # as [u0, v0, u1, v1, ...]; a *stable* sort by source vertex then
         # groups each vertex's half-edges in edge-insertion order — the
@@ -131,16 +249,25 @@ class Graph:
         src = earr.reshape(-1)
         dst = earr[:, ::-1].reshape(-1)
         order = np.argsort(src, kind="stable")
-        self._indices = dst[order]
-        self._eids = np.repeat(np.arange(m, dtype=np.int64), 2)[order]
-        counts = np.bincount(src, minlength=n) if m else np.zeros(n, dtype=np.int64)
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        self._indices = dst[order].astype(idt, copy=False)
+        self._eids = np.repeat(np.arange(m, dtype=idt), 2)[order]
+        counts = np.bincount(src, minlength=n) if m else np.zeros(n, dtype=idt)
+        indptr = np.zeros(n + 1, dtype=idt)
         np.cumsum(counts, out=indptr[1:])
         self._indptr = indptr
         for arr in (self._indices, self._eids, self._indptr, self._lo, self._hi):
             arr.setflags(write=False)
+        if weight_dtype is None:
+            wdt = np.dtype(np.float64)
+        else:
+            wdt = np.dtype(weight_dtype)
+            if wdt not in _WEIGHT_DTYPES:
+                raise ValueError(
+                    f"weight_dtype must be float32 or float64, got {wdt}"
+                )
+        self._weight_dtype = wdt
         if weights is not None:
-            warr = np.asarray(weights, dtype=np.float64)
+            warr = np.asarray(weights, dtype=wdt)
             if warr.ndim != 1:
                 raise ValueError(
                     f"weights must be 1-D, got shape {warr.shape}"
@@ -169,6 +296,8 @@ class Graph:
         self._sorted_eids: np.ndarray | None = None
         self._max_degree: int | None = None
         self._unit_weights: np.ndarray | None = None
+        self._edge_key_sorted: np.ndarray | None = None
+        self._edge_key_order: np.ndarray | None = None
 
     def _validate_topology(self, earr: np.ndarray, u: np.ndarray, v: np.ndarray) -> None:
         """Vectorized checks; error paths scan for faithful messages."""
@@ -192,6 +321,69 @@ class Graph:
             i = int(order[1:][dup].min())
             raise ValueError(f"duplicate edge ({earr[i, 0]},{earr[i, 1]})")
 
+    @classmethod
+    def from_edge_chunks(
+        cls,
+        n: int,
+        chunks: Iterable[np.ndarray],
+        weight_chunks: Iterable[np.ndarray] | None = None,
+        *,
+        index_dtype: object = None,
+        weight_dtype: object = None,
+    ) -> "Graph":
+        """Build a graph from a stream of ``(k, 2)`` edge-array chunks.
+
+        The chunked-construction protocol of the streamed generators:
+        each chunk is an integer NumPy array of edges; chunks are
+        compacted to the vertex-id dtype as they arrive and concatenated
+        once — no Python edge list (~100 bytes/edge) ever exists.  An
+        optional parallel stream of 1-D weight chunks must align with
+        the edge chunks element-for-element.
+        """
+        if n < 0:
+            raise ValueError(f"vertex count must be nonnegative, got {n}")
+        edge_dt = np.dtype(np.int32) if n <= INT32_INDEX_LIMIT else np.dtype(np.int64)
+        parts: list[np.ndarray] = []
+        for chunk in chunks:
+            arr = np.asarray(chunk)
+            if arr.size == 0:
+                continue
+            if arr.ndim != 2 or arr.shape[1] != 2:
+                raise ValueError(
+                    f"edge chunk must have shape (k, 2), got {arr.shape}"
+                )
+            if not np.issubdtype(arr.dtype, np.integer):
+                raise TypeError(
+                    f"edge endpoints must be integers, got dtype {arr.dtype}"
+                )
+            if arr.dtype.itemsize > edge_dt.itemsize:
+                # Guard the narrowing cast: an out-of-range endpoint
+                # must surface as the usual validation error, not wrap.
+                lo = int(arr.min())
+                hi = int(arr.max())
+                if lo < 0 or hi >= n:
+                    bad = lo if lo < 0 else hi
+                    raise ValueError(
+                        f"edge endpoint {bad} out of range for n={n}"
+                    )
+            parts.append(arr.astype(edge_dt, copy=False))
+        if parts:
+            earr = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        else:
+            earr = np.empty((0, 2), dtype=edge_dt)
+        weights: np.ndarray | None = None
+        if weight_chunks is not None:
+            wdt = np.dtype(np.float64) if weight_dtype is None else np.dtype(weight_dtype)
+            wparts = [np.asarray(w, dtype=wdt) for w in weight_chunks]
+            wparts = [w for w in wparts if w.size]
+            weights = (
+                np.concatenate(wparts) if wparts else np.empty(0, dtype=wdt)
+            )
+        return cls(
+            n, earr, weights,
+            index_dtype=index_dtype, weight_dtype=weight_dtype,
+        )
+
     # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
@@ -200,6 +392,16 @@ class Graph:
     def weighted(self) -> bool:
         """Whether explicit weights were supplied."""
         return self._weights is not None
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Storage dtype of the CSR index arrays (int32 or int64)."""
+        return self._indptr.dtype
+
+    @property
+    def weight_dtype(self) -> np.dtype:
+        """Storage dtype of the edge weights (float32 or float64)."""
+        return self._weight_dtype
 
     def vertices(self) -> range:
         """All vertices as a range."""
@@ -316,10 +518,10 @@ class Graph:
         return self._lo, self._hi
 
     def weights_array(self) -> np.ndarray:
-        """Edge weights as ``float64[m]`` (ones when unweighted), read-only."""
+        """Edge weights as ``weight_dtype[m]`` (ones when unweighted), read-only."""
         if self._weights is None:
             if self._unit_weights is None:
-                ones = np.ones(self.m, dtype=np.float64)
+                ones = np.ones(self.m, dtype=self._weight_dtype)
                 ones.setflags(write=False)
                 self._unit_weights = ones
             return self._unit_weights
@@ -346,6 +548,41 @@ class Graph:
         docstring) for their segment reductions.
         """
         return self._indptr, self._indices, self._eids
+
+    def edge_key_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted flat edge keys + the eid permutation, built once.
+
+        Returns ``(keys, order)`` where ``keys`` is the sorted int64
+        array of ``lo * n + hi`` edge keys and ``order[k]`` the edge id
+        owning ``keys[k]`` — the substrate for vectorized edge-id
+        lookups (:meth:`edge_ids_array`), shared by the augmentation
+        surgery and the k-opt pricing kernel.  The array alternative to
+        the m-entry Python dict behind :meth:`edge_id`, which is the
+        memory wall at n=10^6.
+        """
+        if self._edge_key_sorted is None:
+            keys = self._lo.astype(np.int64) * self.n + self._hi
+            order = np.argsort(keys, kind="stable")
+            self._edge_key_sorted = keys[order]
+            self._edge_key_order = order
+            self._edge_key_sorted.setflags(write=False)
+            self._edge_key_order.setflags(write=False)
+        return self._edge_key_sorted, self._edge_key_order
+
+    def edge_ids_array(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Edge ids for vertex-pair arrays; ``-1`` where no edge exists.
+
+        Endpoints must be in range (the flat key is only collision-free
+        for in-range vertices); order within each pair is free.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        key = np.minimum(u, v) * np.int64(self.n) + np.maximum(u, v)
+        skeys, order = self.edge_key_index()
+        if skeys.size == 0:
+            return np.full(key.shape, -1, dtype=np.int64)
+        pos = np.minimum(np.searchsorted(skeys, key), skeys.size - 1)
+        return np.where(skeys[pos] == key, order[pos], np.int64(-1))
 
     def _sorted_csr(self) -> tuple[np.ndarray, np.ndarray]:
         if self._sorted_indices is None:
@@ -464,15 +701,23 @@ class Graph:
         weights = None
         if self._weights is not None:
             weights = self._weights[eids]
-        return Graph(self.n, edges, weights)
+        return Graph(self.n, edges, weights,
+                     index_dtype=self.index_dtype,
+                     weight_dtype=self._weight_dtype if weights is not None else None)
 
     def with_weights(self, weights: Sequence[float] | np.ndarray) -> "Graph":
-        """Same topology, new weights (used for the derived w_M graph)."""
-        return Graph(self.n, self._endpoint_matrix(), weights)
+        """Same topology, new weights (used for the derived w_M graph).
+
+        The index tier is propagated so a graph family stays on one
+        dtype across Algorithm 5's re-weighting iterations.
+        """
+        return Graph(self.n, self._endpoint_matrix(), weights,
+                     index_dtype=self.index_dtype)
 
     def unweighted(self) -> "Graph":
         """Same topology without weights."""
-        return Graph(self.n, self._endpoint_matrix())
+        return Graph(self.n, self._endpoint_matrix(),
+                     index_dtype=self.index_dtype)
 
     def _endpoint_matrix(self) -> np.ndarray:
         return np.stack([self._lo, self._hi], axis=1)

@@ -66,6 +66,20 @@ def find_augmenting_paths_upto(g: Graph, m: Matching, max_len: int) -> list[Path
     (Definition 3.1).  Paths are returned in canonical orientation,
     deduplicated, sorted.  Cost is exponential in ``max_len``.
     """
+    if max_len < 1:
+        return []
+    if max_len == 1:
+        # Scale fast path: a length-1 augmenting path is exactly a
+        # free–free edge, already in canonical (lo, hi) orientation.
+        # Provably the DFS output: every such edge is found from its
+        # smaller endpoint, nothing longer fits, and the lexsort below
+        # reproduces ``sorted(found)`` on 2-tuples.
+        mate = m.mate_array()
+        free_mask = mate == -1
+        lo, hi = g.endpoints_array()
+        sel = np.flatnonzero(free_mask[lo] & free_mask[hi])
+        sel = sel[np.lexsort((hi[sel], lo[sel]))]
+        return list(zip(lo[sel].tolist(), hi[sel].tolist()))
     found: set[Path] = set()
     free = m.free_vertices()
     for s in free:
@@ -210,6 +224,79 @@ def apply_paths(m: Matching, paths: Iterable[Sequence[int]]) -> Matching:
         used.update(p)
         edges.extend((p[i], p[i + 1]) for i in range(len(p) - 1))
     return m.symmetric_difference(edges)
+
+
+def apply_paths_array(m: Matching, paths: Sequence[Sequence[int]]) -> Matching:
+    """Array twin of :func:`apply_paths`: same checks, same matching.
+
+    Validation runs whole-array over the concatenated paths — range,
+    simplicity, cross-path disjointness, free endpoints, edge existence
+    (via :meth:`Graph.edge_ids_array`) and alternation — then the
+    augmentation is mate surgery: in a path ``v0..v_{2t+1}`` the new
+    matched pairs are exactly the even-indexed edges, and every path
+    vertex lies on exactly one of them, so assigning those pairs *is*
+    ``M ⊕ P``.  The result goes through the validated
+    :meth:`Matching.from_mate_array` constructor.  No Python edge sets
+    are built, so cost is O(n + m + total path length) — this is step 7
+    of Algorithm 1 at the million-node tier, where
+    ``symmetric_difference``'s tuple sets are the memory wall.  When
+    several paths are invalid the one reported may differ from
+    :func:`apply_paths`'s (which scans sequentially); the accept/reject
+    decision never does.
+    """
+    g = m.graph
+    paths = [tuple(p) for p in paths]
+    if not paths:
+        return m.copy()
+    lens = np.array([len(p) for p in paths], dtype=np.int64)
+    flat = np.concatenate([np.asarray(p, dtype=np.int64) for p in paths])
+    num = lens.size
+    ends = np.cumsum(lens)
+    starts = ends - lens
+    pid = np.repeat(np.arange(num, dtype=np.int64), lens)
+
+    def _reject(i: int) -> None:
+        raise ValueError(f"not an augmenting path w.r.t. M: {paths[i]}")
+
+    bad_shape = (lens < 2) | (lens % 2 != 0)
+    if bad_shape.any():
+        _reject(int(np.flatnonzero(bad_shape)[0]))
+    out_of_range = (flat < 0) | (flat >= g.n)
+    if out_of_range.any():
+        _reject(int(pid[out_of_range][0]))
+    # One sort settles both uniqueness checks: a duplicated vertex
+    # inside one path is a non-simple path, across paths a conflict.
+    order = np.argsort(flat, kind="stable")
+    sf, sp = flat[order], pid[order]
+    dup = np.flatnonzero(sf[1:] == sf[:-1])
+    if dup.size:
+        same_path = sp[dup] == sp[dup + 1]
+        if same_path.any():
+            _reject(int(sp[dup][same_path].min()))
+        overlap = np.unique(sf[dup]).tolist()
+        raise ValueError(f"paths conflict at vertices {overlap}")
+    mate = m.mate_array()
+    first, last = flat[starts], flat[ends - 1]
+    not_free = (mate[first] != -1) | (mate[last] != -1)
+    if not_free.any():
+        _reject(int(np.flatnonzero(not_free)[0]))
+    # Edge positions: every in-path vertex except the last one.
+    edge_mask = np.ones(flat.size, dtype=bool)
+    edge_mask[ends - 1] = False
+    pos = np.flatnonzero(edge_mask)
+    src, dst = flat[pos], flat[pos + 1]
+    missing = g.edge_ids_array(src, dst) < 0
+    if missing.any():
+        _reject(int(pid[pos[missing]][0]))
+    idx_in_path = pos - np.repeat(starts, lens - 1)
+    bad_alt = (mate[src] == dst) != (idx_in_path % 2 == 1)
+    if bad_alt.any():
+        _reject(int(pid[pos[bad_alt]][0]))
+    new_mate = mate.copy()
+    even = idx_in_path % 2 == 0
+    new_mate[src[even]] = dst[even]
+    new_mate[dst[even]] = src[even]
+    return Matching.from_mate_array(g, new_mate)
 
 
 def symmetric_difference_components(
