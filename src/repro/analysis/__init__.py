@@ -30,6 +30,7 @@ from repro.analysis.stats import (
     mean_ci,
     summarize,
 )
+from repro.analysis.switch_curves import batched_load_curve, batched_point
 from repro.analysis.tables import format_series, format_table, print_banner
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "log_fit",
     "mean_ci",
     "summarize",
+    "batched_load_curve",
+    "batched_point",
     "format_series",
     "format_table",
     "print_banner",

@@ -117,6 +117,55 @@ def _weight_class_array(
     return np.maximum(j, 0)
 
 
+def _sorted_csr(
+    indptr: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-vertex neighbor order made ascending, as one flat permutation.
+
+    Returns ``(sidx, s_nbr)``: ``sidx`` permutes half-edge slots so that
+    each vertex's segment ``indptr[v]:indptr[v+1]`` lists neighbors in
+    ascending id order (the generator program's ``sorted(active)``
+    order) and ``s_nbr = indices[sidx]``.  Replaces the per-vertex
+    ``argsort`` setup loop of both array programs.
+    """
+    size = indptr.size - 1
+    vhe = np.repeat(np.arange(size, dtype=np.int64), np.diff(indptr))
+    sidx = np.argsort(vhe * size + indices.astype(np.int64))
+    return sidx, indices.astype(np.int64)[sidx]
+
+
+def _choose_targets(
+    indptr: np.ndarray,
+    s_nbr: np.ndarray,
+    sidx: np.ndarray,
+    pv: np.ndarray,
+    idx: np.ndarray,
+    eligible,
+) -> np.ndarray:
+    """Vectorized replay of each proposer's ``choice(sorted(active))``.
+
+    Proposer ``k`` at vertex ``pv[k]`` drew ``idx[k]`` ∈ [0, #active)
+    and picks the ``idx[k]``-th entry of its ascending-id active
+    neighbor list.  ``eligible(seg, pos, nbr)`` returns the active mask
+    for the flat candidate rows — ``seg`` is the proposer row, ``pos``
+    the original CSR half-edge slot, ``nbr`` the candidate id.  One
+    rank-select over ``sum(deg(pv))`` flat rows replaces the
+    per-proposer Python loop that dominated the batched weighted sweep
+    (see ARCHITECTURE.md).
+    """
+    deg = (indptr[pv + 1] - indptr[pv]).astype(np.int64)
+    seg = np.repeat(np.arange(pv.size, dtype=np.int64), deg)
+    off = np.zeros(pv.size + 1, dtype=np.int64)
+    np.cumsum(deg, out=off[1:])
+    flat = indptr[pv[seg]] + (np.arange(seg.size, dtype=np.int64) - off[seg])
+    nbr = s_nbr[flat]
+    elig = eligible(seg, sidx[flat], nbr)
+    csum = np.cumsum(elig)
+    base = np.concatenate(([0], csum[off[1:] - 1][:-1]))
+    hit = elig & ((csum - elig - base[seg]) == idx[seg])
+    return nbr[hit]
+
+
 def lps_mwm_array(
     ctx: ArrayContext,
     n: int,
@@ -135,9 +184,14 @@ def lps_mwm_array(
     mask agrees with every generator node's private ``dead`` set; it
     flips *after* resume C, landing next phase exactly like the
     generator's post-yield inbox scan).  Coin flips and the two
-    ``choice`` replays are bulk ``ctx.lanes`` draws; only the
-    selection of the chosen neighbor from each proposer's sorted
-    candidate list stays a per-node loop.
+    ``choice`` replays are bulk ``ctx.lanes`` draws and the
+    chosen-neighbor selection is one flat rank-select
+    (:func:`_choose_targets`).  A class with no drawer left stays
+    drawerless (mate only sets, dead only grows), so its remaining
+    phases fast-forward through
+    :meth:`~repro.distributed.backends.ArrayContext.idle_steps` with
+    identical accounting — most of the ``num_classes ×
+    phases_per_class`` schedule is that idle tail.
     """
     g = ctx.graph
     size = ctx.n
@@ -146,16 +200,9 @@ def lps_mwm_array(
     he_cls = _weight_class_array(g.weights_array(), wmax)[eids]
     vhe = np.repeat(np.arange(size, dtype=np.int64), np.diff(indptr))
     degrees = g.degrees()
-    # Per-vertex neighbor ids sorted ascending with aligned classes —
-    # the order the generator program's sorted(active) lists use.
-    snbr: list[np.ndarray] = []
-    scls: list[np.ndarray] = []
-    for v in range(size):
-        seg = slice(int(indptr[v]), int(indptr[v + 1]))
-        nb, cl = indices[seg], he_cls[seg]
-        order = np.argsort(nb)
-        snbr.append(nb[order])
-        scls.append(cl[order])
+    # Ascending-neighbor order per vertex — the order the generator
+    # program's sorted(active) lists use.
+    sidx, s_nbr = _sorted_csr(indptr, indices)
     # Half-edges of each class, precomputed (classes partition them).
     cls_he = [np.flatnonzero(he_cls == c) for c in range(num_classes)]
     mate = np.full(size, -1, dtype=np.int64)
@@ -165,19 +212,25 @@ def lps_mwm_array(
     for cls in range(num_classes):
         for _phase in range(phases_per_class):
             # --- round 1: proposals ----------------------------------
-            ctx.begin_step(size)
             he = cls_he[cls]
             live_he = he[~dead[indices[he]]]
             cnt = np.bincount(vhe[live_he], minlength=size)
             drawers = np.flatnonzero((mate == -1) & (cnt > 0))
+            if drawers.size == 0:
+                # mate only sets and dead only grows, so a draw-free
+                # phase makes every remaining phase of this class a
+                # no-op too; the generator runs them literally (3 idle
+                # rounds each, no sends, no draws) — account the same.
+                ctx.idle_steps(size, 3 * (phases_per_class - _phase))
+                break
+            ctx.begin_step(size)
             coins = lanes.integers(0, 2, drawers)
             prop = drawers[coins == 1]
             idx = lanes.integers(0, cnt[prop], prop)
-            tgt = np.empty(prop.size, dtype=np.int64)
-            for k in range(prop.size):
-                v = int(prop[k])
-                cand = snbr[v][(scls[v] == cls) & ~dead[snbr[v]]]
-                tgt[k] = cand[idx[k]]
+            tgt = _choose_targets(
+                indptr, s_nbr, sidx, prop, idx,
+                lambda seg, pos, nbr: (he_cls[pos] == cls) & ~dead[nbr],
+            )
             ctx.account_groups(
                 np.full(prop.size, eight), np.ones(prop.size, np.int64)
             )
@@ -262,15 +315,9 @@ def lps_mwm_array_batched(
     if lane_degrees is None:
         lane_degrees = np.broadcast_to(g.degrees(), (num_seeds, size))
     vhe = np.repeat(np.arange(size, dtype=np.int64), np.diff(indptr))
-    # Per-vertex neighbors sorted ascending + their CSR positions, so a
-    # proposer's candidate classes come from its lane's he_cls row.
-    snbr: list[np.ndarray] = []
-    spos: list[np.ndarray] = []
-    for v in range(size):
-        seg = np.arange(int(indptr[v]), int(indptr[v + 1]), dtype=np.int64)
-        order = np.argsort(indices[seg])
-        snbr.append(indices[seg][order])
-        spos.append(seg[order])
+    # Ascending-neighbor order per vertex; a proposer's candidate
+    # classes come from its lane's he_cls row via the CSR positions.
+    sidx, s_nbr = _sorted_csr(indptr, indices)
     # (lane, half-edge) pairs of each class, precomputed once.
     cls_part = [np.nonzero(he_cls == c) for c in range(num_classes)]
     mate = np.full((num_seeds, size), -1, dtype=np.int64)
@@ -282,7 +329,6 @@ def lps_mwm_array_batched(
     for cls in range(num_classes):
         for _phase in range(phases_per_class):
             # --- round 1: proposals ----------------------------------
-            ctx.begin_step(all_live)
             rows_c, he_c = cls_part[cls]
             alive_he = ~dead[rows_c, indices[he_c]]
             cnt = np.bincount(
@@ -290,17 +336,24 @@ def lps_mwm_array_batched(
                 minlength=num_seeds * size,
             ).reshape(num_seeds, size)
             pr_all, pv_all = np.nonzero((mate == -1) & (cnt > 0))
+            if pr_all.size == 0:
+                # No lane has a drawer left in this class (monotone:
+                # mate only sets, dead only grows) — the rest of the
+                # class is idle rounds in every lane, exactly as the
+                # generator executes it.
+                ctx.idle_steps(all_live, 3 * (phases_per_class - _phase))
+                break
+            ctx.begin_step(all_live)
             coins = lanes.integers(0, 2, pr_all * size + pv_all)
             picked = coins == 1
             pr, pv = pr_all[picked], pv_all[picked]
             idx = lanes.integers(0, cnt[pr, pv], pr * size + pv)
-            tgt = np.empty(pr.size, dtype=np.int64)
-            for k in range(pr.size):
-                s, v = int(pr[k]), int(pv[k])
-                cand = snbr[v][
-                    (he_cls[s, spos[v]] == cls) & ~dead[s, snbr[v]]
-                ]
-                tgt[k] = cand[idx[k]]
+            tgt = _choose_targets(
+                indptr, s_nbr, sidx, pv, idx,
+                lambda seg, pos, nbr: (
+                    (he_cls[pr[seg], pos] == cls) & ~dead[pr[seg], nbr]
+                ),
+            )
             ctx.account_groups(
                 np.full(pr.size, eight), np.ones(pr.size, np.int64), pr
             )

@@ -23,7 +23,10 @@ dispatch each cell's seeds in chunks of K — one process-level task per
 chunk instead of one call per seed.  ``switch`` accepts ``--traffic
 {bernoulli,diagonal,bursty,hotspot}`` and ``--engine
 {vectorized,scalar}`` — the vectorized long-horizon engine is the
-default and produces byte-identical statistics to the scalar loop.
+default and produces byte-identical statistics to the scalar loop —
+plus ``--seed-batch N``, which runs N seed lanes per scheduler as one
+seed-axis batched execution (ISSUE 8) and prints each metric as a
+mean ± 95% CI over the lanes.
 """
 
 from __future__ import annotations
@@ -144,29 +147,57 @@ def cmd_switch(args) -> int:
     )
 
     traffic_models = {
-        "bernoulli": lambda: bernoulli_uniform(
-            args.ports, args.load, seed=args.seed
+        "bernoulli": lambda seed: bernoulli_uniform(
+            args.ports, args.load, seed=seed
         ),
-        "diagonal": lambda: diagonal(args.ports, args.load, seed=args.seed),
-        "bursty": lambda: bursty(args.ports, args.load, seed=args.seed),
-        "hotspot": lambda: hotspot(args.ports, args.load, seed=args.seed),
+        "diagonal": lambda seed: diagonal(args.ports, args.load, seed=seed),
+        "bursty": lambda seed: bursty(args.ports, args.load, seed=seed),
+        "hotspot": lambda seed: hotspot(args.ports, args.load, seed=seed),
     }
     make_traffic = traffic_models[args.traffic]
+    schedulers = [
+        ("PIM", lambda seed: PimScheduler(args.ports, seed=seed)),
+        ("iSLIP", lambda seed: IslipAdapter(args.ports)),
+        ("maximal", lambda seed: GreedyMaximalScheduler(args.ports, seed=seed)),
+        (f"paper k={args.k}", lambda seed: PaperScheduler(args.ports, k=args.k)),
+    ]
+    if args.seed_batch is not None:
+        if args.seed_batch < 1:
+            print(f"error: --seed-batch must be >= 1, got {args.seed_batch}",
+                  file=sys.stderr)
+            return 1
+        from repro.analysis.switch_curves import batched_point
+
+        seeds = list(range(args.seed, args.seed + args.seed_batch))
+        rows = []
+        for name, factory in schedulers:
+            pt = batched_point(
+                args.ports, make_traffic, factory, seeds,
+                args.slots, warmup=args.slots // 5,
+            )
+            rows.append([
+                name,
+                f"{pt['throughput']:.4f} ± {pt['throughput_ci']:.4f}",
+                f"{pt['mean_delay']:.3f} ± {pt['mean_delay_ci']:.3f}",
+                f"{pt['backlog']:.1f} ± {pt['backlog_ci']:.1f}",
+            ])
+        print(f"{args.ports}x{args.ports} switch at load {args.load} "
+              f"({args.traffic} traffic, {len(seeds)} seed lanes, one "
+              "batched execution per scheduler; mean ± 95% CI):")
+        print(format_table(
+            ["scheduler", "throughput", "mean delay", "backlog"], rows
+        ))
+        return 0
     rows = []
-    for name, factory in [
-        ("PIM", lambda: PimScheduler(args.ports, seed=args.seed)),
-        ("iSLIP", lambda: IslipAdapter(args.ports)),
-        ("maximal", lambda: GreedyMaximalScheduler(args.ports, seed=args.seed)),
-        (f"paper k={args.k}", lambda: PaperScheduler(args.ports, k=args.k)),
-    ]:
+    for name, factory in schedulers:
         if args.engine == "vectorized":
             st = run_switch_vectorized(
-                args.ports, make_traffic(), factory(),
+                args.ports, make_traffic(args.seed), factory(args.seed),
                 slots=args.slots, warmup=args.slots // 5,
             )
         else:
             st = run_switch(
-                args.ports, make_traffic(), factory(),
+                args.ports, make_traffic(args.seed), factory(args.seed),
                 slots=args.slots, warmup=args.slots // 5,
             )
         rows.append([name, st.throughput, st.mean_delay, st.backlog])
@@ -339,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("vectorized", "scalar"), default="vectorized",
         help="cell-slot loop implementation (stats are byte-identical; "
              "vectorized is the long-horizon path)",
+    )
+    sp.add_argument(
+        "--seed-batch", type=int, default=None, metavar="N",
+        help="run N seed lanes per scheduler as one batched execution "
+             "and report mean ± 95%% CI per metric (lanes are seeds "
+             "--seed .. --seed+N-1; overrides --engine)",
     )
     sp.set_defaults(fn=cmd_switch)
 

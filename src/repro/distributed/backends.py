@@ -337,6 +337,27 @@ class ArrayContext:
         if yielded:
             self.result.rounds += 1
 
+    def idle_steps(self, live: int, count: int) -> None:
+        """Fast-forward ``count`` resumes in which every node yields idle.
+
+        Equivalent to ``count`` iterations of ``begin_step(live)`` +
+        ``end_step(True)`` with no groups accounted — for protocol
+        stretches a program can prove are no-ops (e.g. the exhausted
+        tail of a weight class in the lockstep LPS schedule): same
+        budget semantics, same round count, no messages, no draws.
+        """
+        if count <= 0:
+            return
+        if live and self.result.rounds + count > self.max_rounds:
+            # the iterative loop completes the resumes up to the budget
+            # before its begin_step raises
+            self.result.rounds = max(self.result.rounds, self.max_rounds)
+            raise RuntimeError(
+                f"{live} node(s) still running after {self.max_rounds} "
+                "rounds; lockstep protocol bug or budget too small"
+            )
+        self.result.rounds += count
+
     # -- CSR scatter/gather helpers -----------------------------------
     #
     # Delegated to the selected segment kernel (the kernel-selection
@@ -609,6 +630,32 @@ class BatchedArrayContext:
     def end_step(self, yielded: np.ndarray) -> None:
         """End of one resume: seeds where some node yielded gain a round."""
         self._rounds += np.asarray(yielded, dtype=bool)
+
+    def idle_steps(self, live: np.ndarray, count: int) -> None:
+        """Fast-forward ``count`` fully lockstep idle resumes.
+
+        The batched twin of :meth:`ArrayContext.idle_steps`: every seed
+        gains ``count`` rounds (the caller asserts all lanes yield in
+        each skipped resume), with the same per-seed budget semantics as
+        the iterative ``begin_step``/``end_step`` loop and no messages.
+        """
+        if count <= 0:
+            return
+        live = np.asarray(live, dtype=np.int64)
+        over = (live > 0) & (self._rounds + count > self.max_rounds)
+        if over.any():
+            # replicate where the iterative loop would raise: after the
+            # resumes the tightest lane's budget still admits
+            deficit = np.maximum(self.max_rounds - self._rounds, 0)
+            k = int(deficit[over].min())
+            s = int(np.flatnonzero(over & (deficit == k))[0])
+            self._rounds += k
+            raise RuntimeError(
+                f"{int(live[s])} node(s) still running after "
+                f"{self.max_rounds} rounds; lockstep protocol bug or "
+                "budget too small"
+            )
+        self._rounds += count
 
     def finalize(
         self, outputs: Sequence[Sequence[Any]] | None

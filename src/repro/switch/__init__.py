@@ -11,8 +11,10 @@ experiment E8 can compare their throughput and delay.
 
 from repro.switch.fabric import Switch, SwitchStats
 from repro.switch.traffic import (
+    BatchedChunkedTraffic,
     ChunkedTraffic,
     TrafficGenerator,
+    batched_traffic,
     bernoulli_uniform,
     bursty,
     diagonal,
@@ -30,13 +32,15 @@ from repro.switch.schedulers import (
     WeightedPaperScheduler,
 )
 from repro.switch.simulator import run_switch
-from repro.switch.engine import run_switch_vectorized
+from repro.switch.engine import run_switch_batched, run_switch_vectorized
 
 __all__ = [
     "Switch",
     "SwitchStats",
+    "BatchedChunkedTraffic",
     "ChunkedTraffic",
     "TrafficGenerator",
+    "batched_traffic",
     "bernoulli_uniform",
     "bursty",
     "diagonal",
@@ -51,5 +55,6 @@ __all__ = [
     "MaxWeightScheduler",
     "WeightedPaperScheduler",
     "run_switch",
+    "run_switch_batched",
     "run_switch_vectorized",
 ]

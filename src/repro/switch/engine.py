@@ -28,6 +28,13 @@ traffic model cell (``tests/test_switch/test_engine.py``); both
 engines drive the same vectorized scheduler cores, which consume
 randomness in a fixed per-slot pattern, so identical seeds yield
 identical schedules.
+
+:func:`run_switch_batched` lifts the same loop along a seed axis —
+one ``(num_seeds, ports, ports)`` occupancy stack, lane-stacked
+scheduler cores (:mod:`repro.switch.batched`) and a batched replay
+pass — so a whole load-curve point with confidence bands costs one
+execution instead of one run per seed, mirroring what the distributed
+round engine's seed-axis batching (PR 4) did for ``run_program``.
 """
 
 from __future__ import annotations
@@ -35,7 +42,58 @@ from __future__ import annotations
 import numpy as np
 
 from repro.switch.fabric import SwitchStats
-from repro.switch.traffic import ChunkedTraffic
+from repro.switch.traffic import BatchedChunkedTraffic, ChunkedTraffic
+
+#: Initial per-VOQ capacity of the batched engine's FIFO timestamp
+#: rings (grown by doubling as occupancy demands).
+_RING_INIT_CAP = 8
+
+#: Memory budget for the timestamp rings.  A run whose deepest VOQ
+#: would push the rings past this falls back to the traffic-replay
+#: delay accounting instead.
+_RING_BYTES_MAX = 256 * 1024 * 1024
+
+
+def _grow_rings(
+    ring: np.ndarray, cap: int, arr_cnt: np.ndarray, dep_cnt: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Double the rings' per-VOQ capacity, relocating live cells.
+
+    A cell with FIFO index ``i`` lives at ring slot ``i % cap``; per
+    VOQ the live indices are ``[dep_cnt, arr_cnt)``, so each offset
+    into that span moves with one gather/scatter over all VOQs.
+    """
+    new_cap = cap * 2
+    new = np.zeros(arr_cnt.size * new_cap, dtype=ring.dtype)
+    for off in range(cap):
+        idx = dep_cnt + off
+        kk = np.flatnonzero(idx < arr_cnt)
+        ii = idx[kk]
+        new[kk * new_cap + (ii & (new_cap - 1))] = ring[
+            kk * cap + (ii & (cap - 1))
+        ]
+    return new, new_cap
+
+
+def _chunk_events(block: np.ndarray, ports: int):
+    """Flat slot-major arrival events for one batched traffic chunk.
+
+    Returns ``(rows, aflat, bounds)``: per event its global input row
+    ``lane*P + i`` and flat VOQ id ``lane*P² + i*P + j`` (note ``aflat
+    = rows*P + dest`` — the lane term needs no separate decode), plus
+    per-slot event bounds.  The block is copied once into a contiguous
+    slot-major array of the narrowest destination dtype so the mask /
+    nonzero / gather steps touch the least memory.
+    """
+    num_seeds, count, _ = block.shape
+    dt = np.int16 if ports < (1 << 15) else np.int64
+    tb = block.transpose(1, 0, 2).astype(dt)
+    tbf = tb.reshape(-1)
+    fnz = np.flatnonzero(tbf >= 0)
+    er, rows = np.divmod(fnz, num_seeds * ports)
+    aflat = rows * ports + tbf.take(fnz)
+    bounds = np.searchsorted(er, np.arange(count + 1)).tolist()
+    return rows, aflat, bounds
 
 
 def _matches_from_pairs(
@@ -59,6 +117,34 @@ def _occupancy_dicts(q: np.ndarray) -> list[dict[int, float]]:
 def _demand_sets(q: np.ndarray) -> list[set[int]]:
     """The scalar fabric's ``demand()`` view of the VOQ matrix."""
     return [set(np.flatnonzero(q[i]).tolist()) for i in range(q.shape[0])]
+
+
+def _consult_external(
+    scheduler, q: np.ndarray, qf: np.ndarray, slot: int, ports: int,
+    weighted: bool,
+) -> np.ndarray | None:
+    """Consult a pair-list scheduler on one lane's occupancy.
+
+    Applies the scalar fabric's matching / empty-VOQ checks, decrements
+    the flat occupancy view ``qf`` for the departed cells, and returns
+    their flat VOQ indices (``None`` when nothing was scheduled).
+    """
+    if weighted:
+        pairs = scheduler.schedule_weighted(_occupancy_dicts(q), slot)
+    else:
+        pairs = scheduler.schedule(_demand_sets(q), slot)
+    mi, mj = _matches_from_pairs(pairs)
+    k = len(mi)
+    if not k:
+        return None
+    if len(set(mi.tolist())) != k or len(set(mj.tolist())) != k:
+        raise ValueError("schedule is not a matching")
+    mflat = mi * ports + mj
+    moved = qf[mflat]
+    if moved.min() <= 0:
+        raise ValueError("scheduled empty VOQ")
+    qf[mflat] = moved - 1
+    return mflat
 
 
 def run_switch_vectorized(
@@ -161,24 +247,11 @@ def run_switch_vectorized(
                     qf[mflat] -= 1
                     pend.append(mflat)
             else:
-                if weighted:
-                    pairs = scheduler.schedule_weighted(_occupancy_dicts(q), s)
-                else:
-                    pairs = scheduler.schedule(_demand_sets(q), s)
-                mi, mj = _matches_from_pairs(pairs)
                 # external pair lists get the scalar fabric's checks
-                k = len(mi)
-                if k:
-                    if (
-                        len(set(mi.tolist())) != k
-                        or len(set(mj.tolist())) != k
-                    ):
-                        raise ValueError("schedule is not a matching")
-                    mflat = mi * ports + mj
-                    moved = qf[mflat]
-                    if moved.min() <= 0:
-                        raise ValueError("scheduled empty VOQ")
-                    qf[mflat] = moved - 1
+                mflat = _consult_external(scheduler, q, qf, s, ports, weighted)
+                k = 0
+                if mflat is not None:
+                    k = len(mflat)
                     pend.append(mflat)
             if in_window:
                 departures += k
@@ -207,7 +280,10 @@ def run_switch_vectorized(
             rows, ins = np.nonzero(block >= 0)  # chronological (row-major)
             if rows.size:
                 keys = ins * ports + block[rows, ins]
-                order = np.argsort(keys, kind="stable")
+                # ordering by (key, row) via a composite lets the
+                # default sort stand in for a slower stable one — rows
+                # are chronological, so ties cannot occur
+                order = np.argsort(keys * count + rows)
                 ks = keys[order]
                 starts = np.flatnonzero(np.r_[True, ks[1:] != ks[:-1]])
                 counts = np.diff(np.r_[starts, len(ks)])
@@ -232,3 +308,297 @@ def run_switch_vectorized(
         match_sizes=match_sizes,
     )
     return stats
+
+
+def run_switch_batched(
+    ports: int,
+    traffic,
+    schedulers,
+    slots: int,
+    warmup: int = 0,
+    chunk_slots: int = 2048,
+) -> list[SwitchStats]:
+    """Simulate every seed lane in one batched execution.
+
+    One ``(num_seeds, ports, ports)`` occupancy stack replaces N
+    sequential :func:`run_switch_vectorized` runs: arrivals come from a
+    :class:`~repro.switch.traffic.BatchedChunkedTraffic` block per
+    chunk, the scheduler cores are consulted once per slot on the whole
+    lane stack (:func:`repro.switch.batched.batch_schedulers`; unknown
+    or mixed scheduler lists fall back to per-lane consults), and the
+    delay-accounting replay pass walks all lanes' cloned streams at
+    once.  Returns one :class:`SwitchStats` per lane, byte-identical to
+    what ``run_switch_vectorized(ports, traffic.lanes[s], schedulers[s],
+    ...)`` would produce on fresh streams and schedulers.
+
+    ``traffic`` is a :class:`BatchedChunkedTraffic` (or a sequence of
+    per-lane :class:`ChunkedTraffic` streams, which is stacked for you
+    — lanes may use different models or loads).  ``schedulers`` holds
+    one instance per lane; instances must be distinct objects, since a
+    shared instance's RNG/pointer state would be consumed in a
+    different order than in per-lane sequential runs.
+    """
+    if ports < 1:
+        raise ValueError("need at least one port")
+    if chunk_slots < 1:
+        raise ValueError("chunk_slots must be >= 1")
+    schedulers = list(schedulers)
+    num_seeds = len(schedulers)
+    if num_seeds < 1:
+        raise ValueError("need at least one scheduler lane")
+    if len({id(s) for s in schedulers}) != num_seeds:
+        raise ValueError(
+            "each lane needs its own scheduler instance (a shared "
+            "instance's state would diverge from per-lane runs)"
+        )
+    if not isinstance(traffic, BatchedChunkedTraffic):
+        traffic = BatchedChunkedTraffic(list(traffic))
+    if traffic.num_seeds != num_seeds:
+        raise ValueError(
+            f"{traffic.num_seeds} traffic lanes for {num_seeds} schedulers"
+        )
+    if traffic.ports != ports:
+        raise ValueError(
+            f"traffic generates {traffic.ports} ports, switch has {ports}"
+        )
+
+    from repro.switch.batched import batch_schedulers
+
+    horizon = warmup + slots
+    # same slots == 0 quirk as the scalar loop / vectorized engine
+    window_start = warmup if slots > 0 else 0
+    measured = horizon - window_start
+
+    cell = ports * ports
+    num_keys = num_seeds * cell
+    # int32 state keeps the randomly-gathered working set cache-resident
+    q = np.zeros((num_seeds, ports, ports), dtype=np.int32)
+    qf = q.reshape(-1)
+    dep_cnt = np.zeros(num_keys, dtype=np.int64)
+    dep_cnt_window = np.zeros_like(dep_cnt)
+    arrivals = np.zeros(num_seeds, dtype=np.int64)
+    # per-slot per-lane match sizes, slot-major so each slot's write is
+    # one contiguous row; departure totals and the departure-slot sum
+    # reduce from it after the loop instead of per slot
+    match_t = np.zeros((measured, num_seeds), dtype=np.int64)
+    widx = 0
+
+    core = batch_schedulers(schedulers)
+    lane_modes = None
+    if core is None:
+        lane_modes = [
+            (
+                sch,
+                hasattr(sch, "schedule_matrix"),
+                hasattr(sch, "schedule_weighted"),
+            )
+            for sch in schedulers
+        ]
+    lane_base = np.arange(num_seeds, dtype=np.int64) * cell
+
+    # Backlogged-VOQ state for the cores, maintained incrementally from
+    # the arrival/departure deltas (never rescanning occupancy): either
+    # a sorted flat id list (cores advertising ``uses_ids``) or a
+    # ``q > 0`` boolean stack.
+    track_ids = core is not None and getattr(core, "uses_ids", False)
+    ids_live = np.empty(0, dtype=np.int64)
+    req = reqf = None
+    if core is not None and not track_ids:
+        req = np.zeros((num_seeds, ports, ports), dtype=bool)
+        reqf = req.reshape(-1)
+
+    pend: list[np.ndarray] = []
+
+    def _flush_departures() -> None:
+        if pend:
+            dep_cnt[:] += np.bincount(
+                np.concatenate(pend), minlength=num_keys
+            )
+            pend.clear()
+
+    # FIFO timestamp rings: per VOQ a small circular buffer of arrival
+    # slots, read back the moment each cell departs — so the exact
+    # delay sum falls out of the main pass and the replay walk is only
+    # a fallback.  A cell with FIFO index i sits at ring slot i % cap;
+    # occupancy never exceeding cap keeps reads and writes disjoint.
+    ring = None
+    ring_cap = _RING_INIT_CAP
+    ring_cap_max = _RING_BYTES_MAX // (4 * num_keys)
+    if horizon < (1 << 31) and ring_cap <= ring_cap_max:
+        ring = np.zeros(num_keys * ring_cap, dtype=np.int32)
+        arr_cnt = np.zeros(num_keys, dtype=np.int32)
+        dep_cnt2 = np.zeros(num_keys, dtype=np.int32)
+        # float64 accumulation is exact here: every addend is a slot
+        # index < 2^31 and per-lane totals stay far below 2^53
+        arr_slot_f = np.zeros(num_seeds, dtype=np.float64)
+
+    slot = 0
+    while slot < horizon:
+        count = min(chunk_slots, horizon - slot)
+        block = traffic.chunk(count)  # (num_seeds, count, ports)
+        rows, aflat, bounds = _chunk_events(block, ports)
+        # per-lane in-window arrival totals: one bincount per chunk
+        # (arrivals are scheduler-independent, unlike departures)
+        first_w = max(window_start - slot, 0)
+        if first_w < count:
+            arrivals += np.bincount(
+                rows[bounds[first_w] :] // ports, minlength=num_seeds
+            )
+        for r in range(count):
+            s = slot + r
+            if s == window_start and window_start > 0:
+                _flush_departures()
+                dep_cnt_window[:] = dep_cnt
+            in_window = s >= window_start
+            lo_r = bounds[r]
+            hi_r = bounds[r + 1]
+            if hi_r > lo_r:
+                # (lane, input) pairs are distinct within a slot, so
+                # plain fancy indexing accumulates safely
+                arr = aflat[lo_r:hi_r]
+                qf[arr] += 1
+                if track_ids:
+                    # newly backlogged VOQs merge into the sorted list
+                    # (``arr`` ascends: one event per global input row)
+                    occ = qf.take(arr)
+                    act = arr[occ == 1]
+                    if act.size:
+                        ids_live = np.insert(
+                            ids_live, np.searchsorted(ids_live, act), act
+                        )
+                elif reqf is not None:
+                    reqf[arr] = True
+                if ring is not None:
+                    # only arrivals deepen a VOQ, so this is the one
+                    # place ring capacity can be outgrown
+                    if not track_ids:
+                        occ = qf.take(arr)
+                    while occ.max() > ring_cap:
+                        if ring_cap * 2 > ring_cap_max:
+                            ring = None  # fall back to replay
+                            break
+                        ring, ring_cap = _grow_rings(
+                            ring, ring_cap, arr_cnt, dep_cnt2
+                        )
+                    if ring is not None:
+                        cnt = arr_cnt.take(arr)
+                        ring[arr * ring_cap + (cnt & (ring_cap - 1))] = s
+                        arr_cnt[arr] = cnt + 1
+            if core is not None:
+                if track_ids:
+                    lanes, mflat = core.schedule(q, None, s, ids_live)
+                else:
+                    lanes, mflat = core.schedule(q, req, s)
+                k = lanes.size
+                if k:
+                    left = qf.take(mflat) - 1
+                    qf[mflat] = left
+                    if track_ids:
+                        dead = mflat[left == 0]
+                        if dead.size:
+                            keep = np.ones(ids_live.size, dtype=bool)
+                            keep[
+                                np.searchsorted(ids_live, np.sort(dead))
+                            ] = False
+                            ids_live = ids_live[keep]
+                    else:
+                        reqf[mflat] = left > 0
+                    pend.append(mflat)
+            else:
+                k_list = [0] * num_seeds
+                slot_mflats: list[np.ndarray] = []
+                for sx, (sch, matrixed, weighted) in enumerate(lane_modes):
+                    q_lane = q[sx]
+                    qf_lane = qf[sx * cell : (sx + 1) * cell]
+                    if matrixed:
+                        mi, mj = sch.schedule_matrix(q_lane, s)
+                        if len(mi):
+                            mfl = mi * ports + mj
+                            qf_lane[mfl] -= 1
+                            slot_mflats.append(mfl + lane_base[sx])
+                            k_list[sx] = len(mi)
+                    else:
+                        mfl = _consult_external(
+                            sch, q_lane, qf_lane, s, ports, weighted
+                        )
+                        if mfl is not None:
+                            slot_mflats.append(mfl + lane_base[sx])
+                            k_list[sx] = len(mfl)
+                k = sum(k_list)
+                if k:
+                    mflat = np.concatenate(slot_mflats)
+                    lanes = mflat // cell
+                    pend.append(mflat)
+            if k:
+                if ring is not None:
+                    cnt = dep_cnt2.take(mflat)
+                    arrsl = ring.take(
+                        mflat * ring_cap + (cnt & (ring_cap - 1))
+                    )
+                    dep_cnt2[mflat] = cnt + 1
+                    if in_window:
+                        arr_slot_f += np.bincount(
+                            lanes, weights=arrsl, minlength=num_seeds
+                        )
+                if in_window:
+                    match_t[widx] = np.bincount(lanes, minlength=num_seeds)
+            if in_window:
+                widx += 1
+        slot += count
+        if qf.min() < 0:
+            raise ValueError("scheduled empty VOQ")
+    _flush_departures()
+    if core is not None and hasattr(core, "finalize"):
+        core.finalize()
+
+    backlog = q.sum(axis=(1, 2))
+    departures = match_t.sum(axis=0)
+    dep_slot_sum = (
+        window_start + np.arange(measured, dtype=np.int64)
+    ) @ match_t
+
+    arr_slot_sum = np.zeros(num_seeds, dtype=np.int64)
+    if ring is not None:
+        arr_slot_sum[:] = arr_slot_f.astype(np.int64)
+    elif departures.any():
+        # Fallback batched replay pass (rings outgrew their budget):
+        # one walk over all lanes' cloned streams.  With every lane's
+        # events available per slot, the per-VOQ FIFO indices resolve
+        # slot by slot — a key appears at most once per slot, so a
+        # fancy gather/increment on ``seen`` is exact and no
+        # sort-and-group step (the single engine's approach) is needed.
+        replay = traffic.clone()
+        lo = dep_cnt_window
+        hi = dep_cnt
+        seen = np.zeros(num_keys, dtype=np.int64)
+        slot = 0
+        while slot < horizon:
+            count = min(chunk_slots, horizon - slot)
+            rows, keys, bounds = _chunk_events(replay.chunk(count), ports)
+            for r in range(count):
+                lo_r = bounds[r]
+                hi_r = bounds[r + 1]
+                if hi_r == lo_r:
+                    continue
+                kk = keys[lo_r:hi_r]
+                kg = seen[kk]
+                m = (kg >= lo[kk]) & (kg < hi[kk])
+                seen[kk] = kg + 1
+                if m.any():
+                    arr_slot_sum += (slot + r) * np.bincount(
+                        rows[lo_r:hi_r][m] // ports, minlength=num_seeds
+                    )
+            slot += count
+
+    return [
+        SwitchStats(
+            slots=measured,
+            arrivals=int(arrivals[s]),
+            departures=int(departures[s]),
+            total_delay=int(dep_slot_sum[s] - arr_slot_sum[s]),
+            backlog=int(backlog[s]),
+            ports=ports,
+            match_sizes=match_t[:, s].tolist(),
+        )
+        for s in range(num_seeds)
+    ]

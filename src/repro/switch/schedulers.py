@@ -52,29 +52,145 @@ def _pairs(mi: np.ndarray, mj: np.ndarray) -> list[tuple[int, int]]:
 
 #: Below this many backlogged pairs, sequential greedy in plain Python
 #: beats the vectorized rounds (numpy call overhead dominates).  Both
-#: branches compute the *same* matching — sequential greedy over the
-#: same shuffled pair order — so the cutoff is purely a speed knob.
+#: branches compute the *same* matching — greedy in increasing
+#: priority-key order — so the cutoff is purely a speed knob.
 _GREEDY_PY_CUTOFF = 512
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_U32 = np.empty(0, dtype=np.uint32)
+
+#: Composite priority keys pack the uint32 priority above the pair's
+#: position: ``(u << 31) | pos``.  Keys are unique (positions are) and
+#: ordering by key is exactly "priority, then position", so any sort —
+#: or a scatter-min — resolves ties identically everywhere.  31
+#: position bits keep the key inside int64 for any feasible pair count.
+_PRIORITY_POS_BITS = 31
+
+
+class PriorityTape:
+    """Buffered stream of uint32 priorities for random-order greedy.
+
+    Values are drawn from the owning generator in fixed blocks of
+    ``BLOCK`` and handed out in order, so the stream is a pure function
+    of the seed and of how many values each call consumed — never of
+    *who* consumed them.  That is the property the seed-axis batched
+    core (:class:`repro.switch.batched.BatchedGreedyCore`) relies on:
+    it adopts each scheduler's tape and takes the same per-slot counts
+    the single-seed core would, leaving identical generator state.
+    """
+
+    BLOCK = 2048
+
+    __slots__ = ("_rng", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._buf = _EMPTY_U32
+        self._pos = 0
+
+    def take(self, count: int) -> np.ndarray:
+        """The next ``count`` priorities (a read-only view, consumed)."""
+        avail = self._buf.size - self._pos
+        if count > avail:
+            parts = [self._buf[self._pos :]]
+            while avail < count:
+                parts.append(self._rng.integers(
+                    0, 1 << 32, size=self.BLOCK, dtype=np.uint32
+                ))
+                avail += self.BLOCK
+            self._buf = np.concatenate(parts)
+            self._pos = 0
+        out = self._buf[self._pos : self._pos + count]
+        self._pos += count
+        return out
+
+
+#: Survivor count below which :func:`_priority_rounds` finishes with a
+#: sequential Python tail instead of further vector rounds.
+_ROUNDS_PY_TAIL = 128
+
+
+def _priority_rounds(
+    si: np.ndarray,
+    sjo: np.ndarray,
+    key: np.ndarray,
+    aux: np.ndarray,
+    num_ids: int,
+) -> np.ndarray:
+    """Greedy maximal matching in increasing-priority-key order.
+
+    ``si``/``sjo`` index one shared id space of size ``num_ids`` (rows,
+    and columns offset past them); ``key`` holds each pair's unique
+    int64 composite priority; ``aux`` is an arbitrary per-pair payload.
+    A pair wins a round when it carries the minimum key among surviving
+    pairs touching its row or column — the standard equivalence between
+    priority-greedy and local-minima rounds — resolved with two
+    ``np.minimum.at`` scatter passes, no sort.  Once few pairs survive,
+    a sequential Python tail is cheaper than further vector rounds;
+    survivors only touch ids that are still unmatched (round
+    elimination removed every pair adjacent to a winner), so the tail's
+    fresh used-table is sound.  Returns the winners' ``aux`` values
+    (unordered — a matching is a set).
+    """
+    parts: list[np.ndarray] = []
+    best = np.empty(num_ids, dtype=np.int64)
+    used = np.empty(num_ids, dtype=bool)
+    big = np.iinfo(np.int64).max
+    while si.size > _ROUNDS_PY_TAIL:
+        best.fill(big)
+        np.minimum.at(best, si, key)
+        np.minimum.at(best, sjo, key)
+        win = (best.take(si) == key) & (best.take(sjo) == key)
+        wi = si[win]
+        wjo = sjo[win]
+        parts.append(aux[win])
+        used.fill(False)
+        used[wi] = True
+        used[wjo] = True
+        keep = ~(used.take(si) | used.take(sjo))
+        si = si[keep]
+        sjo = sjo[keep]
+        key = key[keep]
+        aux = aux[keep]
+    if si.size:
+        order = np.argsort(key)  # unique keys: any sort kind agrees
+        ti = si.take(order).tolist()
+        tjo = sjo.take(order).tolist()
+        ta = aux.take(order).tolist()
+        tail_used = bytearray(num_ids)
+        tw: list[int] = []
+        for a, b, v in zip(ti, tjo, ta):
+            if not tail_used[a] and not tail_used[b]:
+                tail_used[a] = 1
+                tail_used[b] = 1
+                tw.append(v)
+        parts.append(np.asarray(tw, dtype=aux.dtype))
+    if not parts:
+        return _EMPTY_I64
+    return np.concatenate(parts)
 
 
 def greedy_maximal_matrix(
-    requests: np.ndarray, rng: np.random.Generator
+    requests: np.ndarray, tape: PriorityTape
 ) -> tuple[np.ndarray, np.ndarray]:
     """Random-order greedy maximal matching on a boolean request matrix.
 
-    Reproduces sequential greedy over a uniformly shuffled edge list
-    (one ``rng.permutation`` draw per call).  Small instances run the
-    sequential loop directly; large ones run parallel rounds of
-    order-local minima — a pair wins a round when no earlier surviving
-    pair shares its input or output, the standard equivalence between
-    priority-greedy and local-minima rounds — so the result is the
-    sequential matching at vector cost.
+    Draws one uint32 priority per backlogged pair from ``tape`` and
+    reproduces sequential greedy in increasing (priority, position)
+    order.  Small instances run the sequential loop directly; large
+    ones run priority-local-minima rounds (:func:`_priority_rounds`) —
+    both branches compute the same matching.  Priorities come from a
+    buffered :class:`PriorityTape` rather than a per-call
+    ``rng.permutation`` so the draw cost amortizes across slots and the
+    seed-axis batched core can consume the identical stream per lane.
     """
     num_inputs, num_outputs = requests.shape
     flat = requests.reshape(-1).nonzero()[0]  # row-major (input, output)
     n = flat.size
-    si, sj = np.divmod(rng.permutation(flat), num_outputs)
+    u = tape.take(n)
+    key = (u.astype(np.int64) << _PRIORITY_POS_BITS) | np.arange(n)
     if n <= _GREEDY_PY_CUTOFF:
+        si, sj = np.divmod(flat[np.argsort(key)], num_outputs)
         in_used = bytearray(num_inputs)
         out_used = bytearray(num_outputs)
         mi_l: list[int] = []
@@ -89,39 +205,11 @@ def greedy_maximal_matrix(
             np.asarray(mi_l, dtype=np.int64),
             np.asarray(mj_l, dtype=np.int64),
         )
-    mi: list[np.ndarray] = []
-    mj: list[np.ndarray] = []
-    row_first = np.empty(num_inputs, dtype=np.int64)
-    col_first = np.empty(num_outputs, dtype=np.int64)
-    iu = np.empty(num_inputs, dtype=bool)
-    ou = np.empty(num_outputs, dtype=bool)
-    pos = np.arange(n, dtype=np.int64)
-    while si.size:
-        # earliest surviving pair per input / output: reversed scatter
-        # keeps the lowest position (last write wins)
-        k = si.size
-        p = pos[:k]
-        row_first.fill(k)
-        col_first.fill(k)
-        row_first[si[::-1]] = p[k - 1 :: -1]
-        col_first[sj[::-1]] = p[k - 1 :: -1]
-        win = (row_first[si] == p) & (col_first[sj] == p)
-        wi = si[win]
-        wj = sj[win]
-        mi.append(wi)
-        mj.append(wj)
-        # drop every pair touching a matched input or output
-        iu.fill(False)
-        ou.fill(False)
-        iu[wi] = True
-        ou[wj] = True
-        keep = ~(iu[si] | ou[sj])
-        si = si[keep]
-        sj = sj[keep]
-    if not mi:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    return np.concatenate(mi), np.concatenate(mj)
+    si, sj = np.divmod(flat, num_outputs)
+    won = _priority_rounds(
+        si, sj + num_inputs, key, flat, num_inputs + num_outputs
+    )
+    return np.divmod(won, num_outputs)
 
 
 def _demand_graph(demand: list[set[int]], ports: int) -> tuple[Graph, list[int]]:
@@ -177,6 +265,7 @@ class GreedyMaximalScheduler:
     def __init__(self, ports: int, seed: int = 0):
         self.ports = ports
         self.rng = np.random.default_rng(seed)
+        self.tape = PriorityTape(self.rng)
         self._req = np.empty((ports, ports), dtype=bool)
 
     def schedule_matrix(
@@ -184,11 +273,11 @@ class GreedyMaximalScheduler:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Schedule directly on a ``(ports, ports)`` occupancy matrix."""
         np.greater(occupancy, 0, out=self._req)
-        return greedy_maximal_matrix(self._req, self.rng)
+        return greedy_maximal_matrix(self._req, self.tape)
 
     def schedule(self, demand: list[set[int]], slot: int) -> list[tuple[int, int]]:
         return _pairs(*greedy_maximal_matrix(
-            _request_matrix(demand, self.ports), self.rng
+            _request_matrix(demand, self.ports), self.tape
         ))
 
 

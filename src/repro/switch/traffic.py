@@ -52,10 +52,18 @@ class ChunkedTraffic:
 
     Calling the stream as ``gen(slot)`` (the scalar
     :data:`TrafficGenerator` interface) yields the next slot's arrivals
-    as ``(input, output)`` pairs.  Both access styles advance the same
-    cursor; a fresh replica of the stream — same parameters, same seed,
-    rewound to slot 0 — is available via :meth:`clone` (the engine's
-    delay-accounting replay pass relies on this).
+    as ``(input, output)`` pairs.
+
+    **Cursor contract.**  Both access styles advance the *same* cursor:
+    ``gen(s)`` ignores its slot argument and simply reads the next
+    unread slot, so interleaving per-slot calls with ``chunk()`` is
+    well-defined — after consuming ``k`` slots by any mix of the two,
+    the next read returns slot ``k`` of the stream.  The position is
+    exposed as :attr:`slots_consumed`.  :meth:`clone` is independent of
+    the cursor: it always returns a fresh replica of the stream — same
+    parameters, same seed — rewound to slot 0, regardless of how much
+    the parent has consumed (the engines' delay-accounting replay pass
+    relies on this).
     """
 
     def __init__(
@@ -69,9 +77,19 @@ class ChunkedTraffic:
         self._respawn = respawn
         self._buf: np.ndarray | None = None
         self._pos = 0
+        self._consumed = 0
+
+    @property
+    def slots_consumed(self) -> int:
+        """Slots read so far, via ``chunk()`` and ``__call__`` combined."""
+        return self._consumed
 
     def clone(self) -> "ChunkedTraffic":
-        """A fresh replica of this stream, rewound to slot 0."""
+        """A fresh replica of this stream, rewound to slot 0.
+
+        Always starts at slot 0 — the parent's cursor position does not
+        leak into the clone.
+        """
         return self._respawn()
 
     def chunk(self, count: int) -> np.ndarray:
@@ -88,12 +106,72 @@ class ChunkedTraffic:
             out[filled : filled + take] = self._buf[self._pos : self._pos + take]
             self._pos += take
             filled += take
+        self._consumed += count
         return out
 
     def __call__(self, _slot: int) -> list[tuple[int, int]]:
         """Scalar interface: the next slot's ``(input, output)`` pairs."""
         row = self.chunk(1)[0]
         return [(int(i), int(row[i])) for i in np.flatnonzero(row >= 0)]
+
+
+class BatchedChunkedTraffic:
+    """A seed-axis stack of :class:`ChunkedTraffic` lanes.
+
+    ``chunk(count)`` returns a ``(num_seeds, count, ports)`` destination
+    block whose lane ``i`` is byte-for-byte the ``(count, ports)`` block
+    lane ``i``'s own stream would have produced — the stack is just the
+    per-lane streams read in lockstep, so every lane stays a pure
+    function of its own (model parameters, seed) pair and the batched
+    switch engine (:func:`repro.switch.engine.run_switch_batched`) can
+    assert per-lane results against single-seed runs.
+
+    All lanes must share a port count.  :meth:`clone` rewinds every lane
+    to slot 0 (the same contract as :meth:`ChunkedTraffic.clone`).
+    """
+
+    def __init__(self, lanes: "list[ChunkedTraffic]") -> None:
+        lanes = list(lanes)
+        if not lanes:
+            raise ValueError("need at least one traffic lane")
+        for t in lanes:
+            if not isinstance(t, ChunkedTraffic):
+                raise TypeError(
+                    "every lane must be a ChunkedTraffic stream "
+                    "(every repro.switch.traffic model returns one)"
+                )
+        ports = lanes[0].ports
+        if any(t.ports != ports for t in lanes):
+            raise ValueError("all traffic lanes must share a port count")
+        self.lanes = lanes
+        self.ports = ports
+
+    @property
+    def num_seeds(self) -> int:
+        return len(self.lanes)
+
+    def chunk(self, count: int) -> np.ndarray:
+        """The next ``count`` slots as a ``(num_seeds, count, ports)`` block."""
+        out = np.empty((len(self.lanes), count, self.ports), dtype=np.int64)
+        for s, lane in enumerate(self.lanes):
+            out[s] = lane.chunk(count)
+        return out
+
+    def clone(self) -> "BatchedChunkedTraffic":
+        """A fresh replica with every lane rewound to slot 0."""
+        return BatchedChunkedTraffic([lane.clone() for lane in self.lanes])
+
+
+def batched_traffic(
+    factory: Callable[[int], ChunkedTraffic], seeds
+) -> BatchedChunkedTraffic:
+    """Stack ``factory(seed)`` streams into a :class:`BatchedChunkedTraffic`.
+
+    ``factory`` is any of the traffic models partially applied to its
+    non-seed parameters, e.g.
+    ``batched_traffic(lambda s: bernoulli_uniform(64, 0.6, seed=s), range(16))``.
+    """
+    return BatchedChunkedTraffic([factory(int(s)) for s in seeds])
 
 
 def bernoulli_uniform(ports: int, load: float, seed: int = 0) -> ChunkedTraffic:

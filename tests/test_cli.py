@@ -53,6 +53,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PIM" in out and "iSLIP" in out
 
+    def test_switch_seed_batch(self, capsys):
+        assert main(["switch", "--ports", "6", "--load", "0.7",
+                     "--slots", "200", "--seed-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 seed lanes" in out and "mean ± 95% CI" in out
+        assert "PIM" in out and "±" in out
+
+    def test_switch_seed_batch_rejects_nonpositive(self, capsys):
+        assert main(["switch", "--ports", "6", "--slots", "50",
+                     "--seed-batch", "0"]) == 1
+        assert "--seed-batch" in capsys.readouterr().err
+
     def test_generic_array_backend(self, capsys):
         assert main(["generic", "--n", "18", "--k", "2",
                      "--backend", "array"]) == 0

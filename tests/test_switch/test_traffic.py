@@ -154,3 +154,67 @@ class TestChunkedStream:
     def test_negative_chunk_rejected(self):
         with pytest.raises(ValueError):
             bernoulli_uniform(4, 0.5).chunk(-1)
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_cursor_shared_between_interfaces(self, name):
+        """gen(slot) and chunk() advance one cursor: any interleaving
+        of the two reads the stream in order."""
+        whole = self.MODELS[name]().chunk(60)
+        gen = self.MODELS[name]()
+        consumed = 0
+        for count in (3, 1, 5, 2, 8):
+            block = gen.chunk(count)
+            assert np.array_equal(block, whole[consumed:consumed + count])
+            consumed += count
+            row = whole[consumed]
+            expect = [(int(i), int(row[i])) for i in np.flatnonzero(row >= 0)]
+            assert gen(consumed) == expect  # slot arg ignored; next unread
+            consumed += 1
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_slots_consumed_counts_both_interfaces(self, name):
+        gen = self.MODELS[name]()
+        assert gen.slots_consumed == 0
+        gen.chunk(17)
+        assert gen.slots_consumed == 17
+        gen(0)
+        gen(1)
+        assert gen.slots_consumed == 19
+        gen.chunk(0)
+        assert gen.slots_consumed == 19
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_clone_ignores_cursor_position(self, name):
+        """clone() rewinds to slot 0 no matter how the parent's cursor
+        advanced — including mid-internal-block and via gen(slot)."""
+        reference = self.MODELS[name]().chunk(200)
+        gen = self.MODELS[name]()
+        gen.chunk(13)  # stop mid internal block
+        gen(0)
+        assert np.array_equal(gen.clone().chunk(200), reference)
+        assert gen.slots_consumed == 14  # cloning does not move the parent
+        assert np.array_equal(gen.chunk(200 - 14), reference[14:])
+
+
+class TestBatchedChunkedTraffic:
+    def test_lanes_read_in_lockstep_match_solo_streams(self):
+        from repro.switch import batched_traffic
+
+        make = lambda s: bursty(6, 0.5, burst_len=5.0, seed=s)  # noqa: E731
+        stack = batched_traffic(make, [3, 4, 5])
+        block = stack.chunk(120)
+        more = stack.chunk(80)
+        for lane, s in enumerate([3, 4, 5]):
+            solo = make(s).chunk(200)
+            assert np.array_equal(block[lane], solo[:120])
+            assert np.array_equal(more[lane], solo[120:])
+
+    def test_clone_rewinds_every_lane(self):
+        from repro.switch import batched_traffic
+
+        stack = batched_traffic(
+            lambda s: bernoulli_uniform(5, 0.6, seed=s), [1, 2]
+        )
+        first = stack.chunk(90)
+        stack.chunk(30)
+        assert np.array_equal(stack.clone().chunk(90), first)
