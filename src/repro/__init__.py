@@ -30,6 +30,12 @@ Switch application (:mod:`repro.switch`)
     Input-queued switch simulation comparing schedulers (the paper's
     motivating example).
 
+Query-serving layer (:mod:`repro.lca`)
+    ``MatchingService`` / ``LcaMatching`` answer ``mate_of(v)`` and
+    ``edge_in_matching(u, v)`` by local exploration (random-greedy
+    LCA), provably consistent with one global
+    ``random_greedy_matching(graph, seed)`` run.
+
 Experiment harness (:mod:`repro.analysis`)
     ``ParallelRunner`` fans sweep cells over processes with
     deterministic ``SeedSequence`` seeding and JSONL artifacts;

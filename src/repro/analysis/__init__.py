@@ -24,6 +24,11 @@ from repro.analysis.scenarios import (
     scenario_matrix,
     scenario_table,
 )
+from repro.analysis.lca_curves import (
+    crossover_queries,
+    lca_query_curve,
+    serve_queries,
+)
 from repro.analysis.stats import (
     doubling_ratios,
     log_fit,
@@ -47,6 +52,9 @@ __all__ = [
     "run_scenario_cell",
     "scenario_matrix",
     "scenario_table",
+    "crossover_queries",
+    "lca_query_curve",
+    "serve_queries",
     "doubling_ratios",
     "log_fit",
     "mean_ci",

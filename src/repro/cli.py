@@ -9,6 +9,7 @@ Gives downstream users the paper's algorithms without writing Python:
 * ``python -m repro baselines --n 80 --p 0.06``          (II / greedy / LPS / Hoepman)
 * ``python -m repro switch    --ports 16 --load 0.9``    (scheduler comparison)
 * ``python -m repro scenarios --size 24 --workers 4``    (algorithm × family matrix)
+* ``python -m repro lca       --n 2000 --p 0.004 --queries 5000``  (point lookups)
 * ``python -m repro file <edgelist> --algo bipartite --k 3``  (your own graph)
 
 Every command prints the matching size/weight, the exact optimum, the
@@ -26,7 +27,10 @@ chunk instead of one call per seed.  ``switch`` accepts ``--traffic
 default and produces byte-identical statistics to the scalar loop —
 plus ``--seed-batch N``, which runs N seed lanes per scheduler as one
 seed-axis batched execution (ISSUE 8) and prints each metric as a
-mean ± 95% CI over the lanes.
+mean ± 95% CI over the lanes.  ``lca`` (ISSUE 9) serves per-vertex
+point lookups through the :mod:`repro.lca` query layer — probe
+counters and cache hit rate per run, ``--verify`` cross-checks every
+vertex against one global ``random_greedy_matching`` oracle run.
 """
 
 from __future__ import annotations
@@ -204,6 +208,57 @@ def cmd_switch(args) -> int:
     print(f"{args.ports}x{args.ports} switch at load {args.load} "
           f"({args.traffic} traffic, {args.engine} engine):")
     print(format_table(["scheduler", "throughput", "mean delay", "backlog"], rows))
+    return 0
+
+
+def cmd_lca(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.lca import MatchingService, random_greedy_matching
+
+    if args.queries < 1:
+        print(f"error: --queries must be >= 1, got {args.queries}",
+              file=sys.stderr)
+        return 1
+    if args.max_entries < 1:
+        print(f"error: --max-entries must be >= 1, got {args.max_entries}",
+              file=sys.stderr)
+        return 1
+    g = gnp_random(args.n, args.p, seed=args.seed)
+    svc = MatchingService(
+        g, args.seed, max_entries=args.max_entries, cache=not args.no_cache
+    )
+    rng = np.random.default_rng(args.seed)
+    vs = rng.integers(g.n, size=args.queries).tolist() if g.n else []
+    t0 = time.perf_counter()
+    matched = sum(1 for v in vs if svc.mate_of(v) != -1)
+    dt = time.perf_counter() - t0
+    st = svc.stats
+    print(f"G(n,p): {g.n} vertices, {g.m} edges "
+          f"(cache {'off' if args.no_cache else f'on, {args.max_entries} entries'})")
+    rows = [
+        ["queries served", st.queries],
+        ["matched answers", matched],
+        ["queries/sec", f"{st.queries / dt:.0f}" if dt > 0 else "inf"],
+        ["mean probes/query", f"{st.mean_probes:.2f}"],
+        ["max exploration depth", st.max_depth],
+        ["cache hit rate", f"{st.cache_hit_rate:.3f}"],
+    ]
+    print(format_table(["metric", "value"], rows))
+    if args.verify:
+        t0 = time.perf_counter()
+        oracle = random_greedy_matching(g, args.seed)
+        dt_global = time.perf_counter() - t0
+        truth = oracle.mate_array()
+        ok = all(svc.mate_of(v) == truth[v] for v in range(g.n))
+        if not ok:
+            print("CONSISTENCY MISMATCH vs random_greedy_matching oracle",
+                  file=sys.stderr)
+            return 1
+        print(f"consistency vs global oracle: OK (all {g.n} vertices; "
+              f"one global run {dt_global * 1e3:.1f} ms)")
     return 0
 
 
@@ -398,6 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     backend_opt(sp)
     sp.set_defaults(fn=cmd_scenarios)
+
+    sp = sub.add_parser(
+        "lca", help="serve point queries against the random-greedy matching"
+    )
+    common(sp, n=2000, pdef=0.004)
+    sp.add_argument("--queries", type=int, default=5000,
+                    help="random mate_of lookups to serve")
+    sp.add_argument("--max-entries", type=int, default=4096,
+                    help="LRU capacity (explored neighborhoods)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="disable cross-query caching (answers identical)")
+    sp.add_argument("--verify", action="store_true",
+                    help="cross-check every vertex against one global "
+                         "random_greedy_matching run")
+    sp.set_defaults(fn=cmd_lca)
 
     sp = sub.add_parser("report", help="write a Markdown reproduction snapshot")
     sp.add_argument("--out", default="REPORT.md")

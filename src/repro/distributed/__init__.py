@@ -42,6 +42,7 @@ from repro.distributed.models import (
     congest_log_degree,
     congest_with_bound,
 )
+from repro.distributed.metrics import LcaProbeStats
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 
@@ -64,6 +65,7 @@ __all__ = [
     "Model",
     "congest_log_degree",
     "congest_with_bound",
+    "LcaProbeStats",
     "Network",
     "RunResult",
     "Node",

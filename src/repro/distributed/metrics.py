@@ -18,6 +18,69 @@ from typing import Any
 
 
 @dataclass
+class LcaProbeStats:
+    """Exploration cost of LCA point queries (:mod:`repro.lca`).
+
+    Where :class:`RunResult` accounts a *global* distributed run, this
+    accounts the local-computation side: what one ``mate_of`` /
+    ``edge_in_matching`` query (or an aggregate of many) actually
+    touched.  The LCA theorems (Alon–Rubinfeld–Vardi, Reingold–Vardi;
+    see PAPERS.md) bound exactly these quantities — probes polylog in
+    ``n`` per query — so the serving benchmark reports them next to
+    the wall clock.
+
+    * ``queries`` — queries aggregated into this record;
+    * ``edges_probed`` — edge-membership subproblems resolved (DFS
+      frames opened; memo/cache hits are *not* re-counted);
+    * ``adjacency_scanned`` — CSR half-edge slots examined while
+      listing lower-rank dependencies (the "explored neighborhood
+      size"; every probed edge beyond the query root was discovered
+      through one of these slots, so
+      ``edges_probed <= adjacency_scanned + 1`` per query — pinned by
+      the property net);
+    * ``max_depth`` — deepest dependency chain followed (recursion
+      depth of the equivalent recursive resolver);
+    * ``cache_hits`` — resolutions served by a cache (the service's
+      vertex LRU or its flat edge-state index) instead of exploration.
+    """
+
+    queries: int = 0
+    edges_probed: int = 0
+    adjacency_scanned: int = 0
+    max_depth: int = 0
+    cache_hits: int = 0
+
+    @property
+    def mean_probes(self) -> float:
+        """Edges probed per query (0.0 before any query)."""
+        return self.edges_probed / self.queries if self.queries else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of resolutions served by cache (0.0 when idle)."""
+        looked = self.cache_hits + self.edges_probed
+        return self.cache_hits / looked if looked else 0.0
+
+    def merge(self, other: "LcaProbeStats") -> "LcaProbeStats":
+        """Aggregate composition: totals add, depth takes the max."""
+        return LcaProbeStats(
+            queries=self.queries + other.queries,
+            edges_probed=self.edges_probed + other.edges_probed,
+            adjacency_scanned=self.adjacency_scanned + other.adjacency_scanned,
+            max_depth=max(self.max_depth, other.max_depth),
+            cache_hits=self.cache_hits + other.cache_hits,
+        )
+
+    def add(self, other: "LcaProbeStats") -> None:
+        """In-place :meth:`merge` (the hot accumulation path)."""
+        self.queries += other.queries
+        self.edges_probed += other.edges_probed
+        self.adjacency_scanned += other.adjacency_scanned
+        self.max_depth = max(self.max_depth, other.max_depth)
+        self.cache_hits += other.cache_hits
+
+
+@dataclass
 class RunResult:
     """Outcome of one :meth:`repro.distributed.Network.run` call."""
 

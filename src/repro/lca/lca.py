@@ -1,0 +1,246 @@
+"""The random-greedy maximal-matching LCA.
+
+:class:`LcaMatching` answers "is edge ``(u, v)`` in the matching?" and
+"who is ``v`` matched to?" without ever computing the matching: it
+explores, on demand, only the part of the graph the answer depends on.
+
+**The exploration-order contract.**  Fix a seed.  Every edge gets a
+64-bit rank (:mod:`repro.lca.ranks`); the total order is lexicographic
+``(rank, eid)``.  Membership is defined by the recursion
+
+    ``e ∈ M  ⟺  no adjacent edge e' with key(e') < key(e) has e' ∈ M``
+
+which is exactly the decision the global greedy scan makes for ``e``
+when it reaches it in rank order — so every point query agrees with
+one fixed global matching, :func:`repro.lca.oracle.random_greedy_matching`,
+*by construction*.  Dependencies always have strictly smaller keys, so
+the recursion is a DAG and terminates.  The resolver below runs it as
+an explicit-stack DFS (no Python recursion limit on adversarial
+rank-descending paths), visiting each edge's lower-key dependencies in
+increasing key order with early exit on the first matched one — the
+canonical random-greedy probe order, whose expected probe count is
+polylog for random ranks (Nguyen–Onak; Yoshida–Yamamoto–Ito analysis).
+
+**Statelessness.**  ``LcaMatching`` itself keeps no answer state
+across queries: each query starts a fresh memo, so two calls can never
+influence each other's answers.  Cross-query reuse (the LRU of
+explored neighborhoods) lives one layer up, in
+:class:`repro.lca.service.MatchingService`, which passes its cache in
+through the ``lookup``/query-memo seam of :meth:`query_mate` /
+:meth:`query_edge` — reads that can only ever return what a fresh
+exploration would have computed, which is the whole cache-consistency
+argument.
+
+Per-query cost is accounted in a
+:class:`repro.distributed.metrics.LcaProbeStats` (edges probed,
+neighborhood slots scanned, dependency depth, cache hits) and
+aggregated on ``self.stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.distributed.metrics import LcaProbeStats
+from repro.graphs.graph import Graph
+
+from repro.lca.ranks import edge_rank, edge_ranks
+
+#: Optional persistent edge-state source supplied by the service layer:
+#: ``lookup(eid)`` returns True/False if the state is cached, else None.
+Lookup = Callable[[int], "bool | None"]
+
+
+class _Frame:
+    """One open membership subproblem on the DFS stack."""
+
+    __slots__ = ("eid", "deps", "idx")
+
+    def __init__(self, eid: int, deps: list[int]) -> None:
+        self.eid = eid
+        self.deps = deps  # lower-key adjacent edges, increasing key order
+        self.idx = 0
+
+
+class LcaMatching:
+    """Query access to the random-greedy matching of ``(graph, seed)``.
+
+    Parameters
+    ----------
+    graph:
+        The (immutable) graph to answer queries about.
+    seed:
+        The shared-randomness seed.  Same ``(graph, seed)`` — same
+        answers, across instances, processes, and query orders.
+    precompute_ranks:
+        ``True`` (default): materialize all ``m`` ranks in one
+        vectorized pass at construction — O(m) setup, 8 bytes/edge,
+        the right trade for a service answering many queries.
+        ``False``: hash each edge's rank on first touch (true-LCA
+        sublinear setup; byte-identical answers, pinned by the
+        property net).
+    """
+
+    def __init__(self, graph: Graph, seed: int, *,
+                 precompute_ranks: bool = True) -> None:
+        self.graph = graph
+        self.seed = int(seed)
+        if precompute_ranks:
+            self._ranks = edge_ranks(graph.m, self.seed)
+            self._rank_memo: dict[int, int] | None = None
+        else:
+            self._ranks = None
+            self._rank_memo = {}
+        #: Aggregate cost over this instance's lifetime.
+        self.stats = LcaProbeStats()
+        #: Cost of the most recent query (None before the first).
+        self.last_stats: LcaProbeStats | None = None
+
+    # ------------------------------------------------------------------
+    # Public point queries
+    # ------------------------------------------------------------------
+
+    def edge_in_matching(self, u: int, v: int) -> bool:
+        """Whether ``(u, v) ∈ M`` (False when ``(u, v)`` is not an edge,
+        mirroring :meth:`repro.matching.Matching.is_matched_edge`)."""
+        ans, _, _ = self.query_edge(u, v)
+        return ans
+
+    def mate_of(self, v: int) -> int:
+        """``M(v)``: the partner of ``v``, or -1 when ``v`` is free."""
+        ans, _, _ = self.query_mate(v)
+        return ans
+
+    # ------------------------------------------------------------------
+    # Service seam: queries that expose their exploration
+    # ------------------------------------------------------------------
+
+    def query_edge(
+        self, u: int, v: int, *, lookup: Lookup | None = None,
+    ) -> tuple[bool, LcaProbeStats, dict[int, bool]]:
+        """Resolve one edge query; returns ``(answer, stats, memo)``.
+
+        ``memo`` maps every edge resolved during this query to its
+        membership — the "explored neighborhood" the service may cache.
+        """
+        q = LcaProbeStats(queries=1)
+        memo: dict[int, bool] = {}
+        if self.graph.has_edge(u, v):
+            ans = self._state(self.graph.edge_id(u, v), memo, q, lookup)
+        else:
+            ans = False
+        self._account(q)
+        return ans, q, memo
+
+    def query_mate(
+        self, v: int, *, lookup: Lookup | None = None,
+    ) -> tuple[int, LcaProbeStats, dict[int, bool]]:
+        """Resolve one mate query; returns ``(mate, stats, memo)``.
+
+        Walks ``v``'s incident edges in increasing key order under one
+        shared memo; the first one in M names the mate (it blocks every
+        higher-key incident edge, so no later edge can also be in M).
+        When none is, ``v`` is free (-1) — and the memo then certifies
+        every incident edge out of the matching, which is what makes
+        the induced mapping maximal.
+        """
+        if not 0 <= v < self.graph.n:
+            raise IndexError(f"vertex {v} out of range for n={self.graph.n}")
+        q = LcaProbeStats(queries=1)
+        memo: dict[int, bool] = {}
+        nbrs, eids = self.graph.incident_view(v)
+        q.adjacency_scanned += len(eids)
+        order = sorted(range(len(eids)),
+                       key=lambda i: self._key(int(eids[i])))
+        mate = -1
+        for i in order:
+            if self._state(int(eids[i]), memo, q, lookup):
+                mate = int(nbrs[i])
+                break
+        self._account(q)
+        return mate, q, memo
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _account(self, q: LcaProbeStats) -> None:
+        self.stats.add(q)
+        self.last_stats = q
+
+    def _key(self, eid: int) -> tuple[int, int]:
+        """The total-order key of an edge: ``(rank, eid)``."""
+        if self._ranks is not None:
+            return int(self._ranks[eid]), eid
+        memo = self._rank_memo
+        r = memo.get(eid)
+        if r is None:
+            r = memo[eid] = edge_rank(eid, self.seed)
+        return r, eid
+
+    def _deps(self, eid: int, q: LcaProbeStats) -> list[int]:
+        """Lower-key adjacent edges of ``eid``, increasing key order."""
+        u, v = self.graph.edge_endpoints(eid)
+        key0 = self._key(eid)
+        keyed: list[tuple[int, int]] = []
+        for w in (u, v):
+            _, weids = self.graph.incident_view(w)
+            q.adjacency_scanned += len(weids)
+            for e2 in weids.tolist():
+                if e2 != eid:
+                    k = self._key(e2)
+                    if k < key0:
+                        keyed.append(k)
+        keyed.sort()
+        return [e2 for _, e2 in keyed]
+
+    def _state(
+        self,
+        eid0: int,
+        memo: dict[int, bool],
+        q: LcaProbeStats,
+        lookup: Lookup | None,
+    ) -> bool:
+        """Membership of ``eid0`` — explicit-stack DFS over the rank DAG."""
+
+        def known(eid: int) -> bool | None:
+            s = memo.get(eid)
+            if s is None and lookup is not None:
+                s = lookup(eid)
+                if s is not None:
+                    q.cache_hits += 1
+                    memo[eid] = s
+            return s
+
+        s = known(eid0)
+        if s is not None:
+            return s
+        q.edges_probed += 1
+        stack = [_Frame(eid0, self._deps(eid0, q))]
+        q.max_depth = max(q.max_depth, 1)
+        while stack:
+            fr = stack[-1]
+            state: bool | None = None
+            child: int | None = None
+            while fr.idx < len(fr.deps):
+                dep = fr.deps[fr.idx]
+                ds = known(dep)
+                if ds is None:
+                    child = dep
+                    break
+                fr.idx += 1
+                if ds:
+                    # A lower-key adjacent edge is matched: eid blocked.
+                    state = False
+                    break
+            if child is not None:
+                q.edges_probed += 1
+                stack.append(_Frame(child, self._deps(child, q)))
+                q.max_depth = max(q.max_depth, len(stack))
+                continue
+            if state is None:
+                # Every lower-key adjacent edge resolved out of M.
+                state = True
+            memo[fr.eid] = state
+            stack.pop()
+        return memo[eid0]

@@ -60,6 +60,25 @@ class TestCommands:
         assert "4 seed lanes" in out and "mean ± 95% CI" in out
         assert "PIM" in out and "±" in out
 
+    def test_lca(self, capsys):
+        assert main(["lca", "--n", "200", "--p", "0.03",
+                     "--queries", "300", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/sec" in out and "mean probes/query" in out
+        assert "consistency vs global oracle: OK" in out
+
+    def test_lca_no_cache(self, capsys):
+        assert main(["lca", "--n", "100", "--p", "0.05",
+                     "--queries", "150", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache off" in out and "cache hit rate" in out
+
+    def test_lca_rejects_bad_args(self, capsys):
+        assert main(["lca", "--queries", "0"]) == 1
+        assert "must be >= 1" in capsys.readouterr().err
+        assert main(["lca", "--max-entries", "0"]) == 1
+        assert "must be >= 1" in capsys.readouterr().err
+
     def test_switch_seed_batch_rejects_nonpositive(self, capsys):
         assert main(["switch", "--ports", "6", "--slots", "50",
                      "--seed-batch", "0"]) == 1

@@ -51,6 +51,12 @@ class TestExamples:
         assert "worst ratio" in out
         assert "NO" not in out
 
+    def test_lca_queries(self, capsys):
+        out = run_example("lca_queries.py", capsys)
+        assert "mate_of queries" in out
+        assert "break-even" in out
+        assert "consistency vs the global matching" in out and "OK" in out
+
     @pytest.mark.slow  # ~6 s: three full 64-seed sweeps; CI's docs job
     def test_batched_sweep(self, capsys):  # runs it on every push anyway
         out = run_example("batched_sweep.py", capsys)
@@ -68,6 +74,7 @@ class TestExamples:
             "protocol_trace.py",
             "scenario_sweep.py",
             "batched_sweep.py",
+            "lca_queries.py",
         }
         present = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= present
