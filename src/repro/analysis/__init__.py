@@ -10,6 +10,7 @@ family matrix the "for all graphs" theorems are spot-checked on.
 from repro.analysis.runner import (
     ExperimentResult,
     ParallelRunner,
+    PartialArtifactError,
     cell_seeds,
     load_artifact,
     repeat,
@@ -41,6 +42,7 @@ from repro.analysis.tables import format_series, format_table, print_banner
 __all__ = [
     "ExperimentResult",
     "ParallelRunner",
+    "PartialArtifactError",
     "cell_seeds",
     "load_artifact",
     "repeat",

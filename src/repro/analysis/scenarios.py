@@ -262,6 +262,9 @@ def scenario_matrix(
     artifact: str | None = None,
     backend: str = "generator",
     seed_batch: int | None = None,
+    max_retries: int = 0,
+    timeout: float | None = None,
+    resume: bool = False,
 ) -> list[ExperimentResult]:
     """Run the full scenario × algorithm matrix via :class:`ParallelRunner`.
 
@@ -273,13 +276,20 @@ def scenario_matrix(
     ``seed_batch=k`` the runner hands each cell's seeds to
     :func:`run_scenario_cell_batch` in chunks of ``k`` (one task per
     chunk); records are identical either way.
+
+    Crash-safety knobs pass straight through to the runner: a failed
+    cell comes back with ``.error`` set instead of aborting the matrix,
+    ``max_retries``/``timeout`` govern re-runs, and ``resume=True``
+    skips cells already present (error-free) in ``artifact``.
     """
     scenarios = list(SCENARIOS) if scenarios is None else list(scenarios)
     algos = list(ALGORITHMS) if algos is None else list(algos)
     points = [
         {"scenario": s, "algo": a, "size": size} for s in scenarios for a in algos
     ]
-    runner = ParallelRunner(workers=workers)
+    runner = ParallelRunner(
+        workers=workers, max_retries=max_retries, timeout=timeout
+    )
     return runner.sweep(
         run_scenario_cell if seed_batch is None else run_scenario_cell_batch,
         points,
@@ -287,6 +297,7 @@ def scenario_matrix(
         artifact=artifact,
         common={"backend": backend},
         seed_batch=seed_batch,
+        resume=resume,
     )
 
 

@@ -36,7 +36,9 @@ from repro.distributed.backends import (
     replay_acceptor_choices,
     run_program,
     run_program_batched,
+    segment_bounds,
 )
+from repro.distributed.faults import NEVER, FaultPlan, FaultState
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -49,28 +51,48 @@ _MATCHED = "m"
 
 
 def israeli_itai_program(node: Node) -> Generator[None, None, int]:
-    """Node program; returns the node's mate id, or -1 if unmatched."""
-    active = set(node.neighbors)
+    """Node program; returns the node's mate id, or -1 if unmatched.
+
+    Fault-adaptive: the candidate set is recomputed every phase from
+    the *current* ``node.neighbors`` view (which the engine prunes on
+    crashes/link failures under a fault plan) minus the neighbors
+    announced as matched, and received proposals are filtered against
+    the current view — so crashed proposers are never accepted.  On a
+    fault-free run the view never changes and the draw sequence is
+    byte-identical to the pre-fault program (pinned by the seed
+    goldens).
+    """
+    announced: set[int] = set()
     mate = -1
     while True:
-        if mate != -1 or not active:
+        cand = sorted(u for u in node.neighbors if u not in announced)
+        if mate != -1 or not cand:
             node.finish(mate)
             return mate
         proposer = bool(node.rng.integers(0, 2))
         target = -1
-        if proposer and active:
-            target = int(node.rng.choice(sorted(active)))
+        if proposer:
+            target = int(node.rng.choice(cand))
             node.send(target, _PROPOSE)
         yield
-        # Acceptors pick one proposal uniformly at random.
+        # Acceptors pick one proposal uniformly at random (proposals
+        # from since-crashed/disconnected neighbors are discarded —
+        # perfect failure detection).
         if not proposer:
-            proposals = sorted(src for src, tag in node.inbox if tag == _PROPOSE)
+            cur = set(node.neighbors)
+            proposals = sorted(
+                src for src, tag in node.inbox
+                if tag == _PROPOSE and src in cur
+            )
             if proposals:
                 chosen = int(node.rng.choice(proposals))
                 mate = chosen
                 node.send(chosen, _ACCEPT)
         yield
-        # Proposers learn whether their invitation was accepted.
+        # Proposers learn whether their invitation was accepted.  No
+        # view filter here: an acceptance from a node that crashed
+        # right after replying still matched us (the widow case the
+        # degradation oracle reports).
         if proposer and target != -1:
             if any(src == target and tag == _ACCEPT for src, tag in node.inbox):
                 mate = target
@@ -79,7 +101,278 @@ def israeli_itai_program(node: Node) -> Generator[None, None, int]:
         yield
         for src, tag in node.inbox:
             if tag == _MATCHED:
-                active.discard(src)
+                announced.add(src)
+
+
+class _SingleLaneOps:
+    """Accounting/draw seam running the fault core on an ArrayContext."""
+
+    __slots__ = ("ctx", "lanes")
+
+    def __init__(self, ctx: ArrayContext) -> None:
+        self.ctx = ctx
+        self.lanes = ctx.lanes
+
+    def rounds(self) -> int:
+        return self.ctx.result.rounds
+
+    def begin(self, live: int) -> None:
+        self.ctx.begin_step(live)
+
+    def end(self) -> None:
+        self.ctx.end_step(True)
+
+    def account(self, bits: np.ndarray, counts: np.ndarray) -> None:
+        self.ctx.account_groups(bits, counts)
+
+    def faults(self, **kw: int) -> None:
+        self.ctx.add_fault_counts(**kw)
+
+    def draw(
+        self, low: int, high: np.ndarray | int, ids: np.ndarray
+    ) -> np.ndarray:
+        return self.lanes.integers(low, high, ids)
+
+
+class _BatchedLaneOps:
+    """One batch lane's view of a BatchedArrayContext.
+
+    Faulted batches run the single-seed fault core once per lane (the
+    per-lane crash/link schedules differ, so the lanes share no phase
+    structure to vectorize across); this adapter routes the core's
+    accounting to lane ``s``'s counters and its draws to the lane-offset
+    RNG streams, so each lane's run stays byte-identical to its
+    single-seed twin.
+    """
+
+    __slots__ = ("ctx", "lanes", "s", "_base", "_live", "_yielded")
+
+    def __init__(self, ctx: BatchedArrayContext, s: int) -> None:
+        self.ctx = ctx
+        self.lanes = ctx.lanes
+        self.s = s
+        self._base = s * ctx.n
+        self._live = np.zeros(ctx.num_seeds, dtype=np.int64)
+        self._yielded = np.zeros(ctx.num_seeds, dtype=bool)
+        self._yielded[s] = True
+
+    def rounds(self) -> int:
+        return int(self.ctx.rounds[self.s])
+
+    def begin(self, live: int) -> None:
+        self._live[self.s] = live
+        self.ctx.begin_step(self._live)
+
+    def end(self) -> None:
+        self.ctx.end_step(self._yielded)
+
+    def account(self, bits: np.ndarray, counts: np.ndarray) -> None:
+        self.ctx.account_groups(
+            bits, counts, np.full(len(bits), self.s, dtype=np.int64)
+        )
+
+    def faults(self, **kw: int) -> None:
+        self.ctx.add_fault_counts(self.s, **kw)
+
+    def draw(
+        self, low: int, high: np.ndarray | int, ids: np.ndarray
+    ) -> np.ndarray:
+        return self.lanes.integers(low, high, self._base + ids)
+
+
+def _israeli_itai_faulty(
+    g: Graph,
+    fs: FaultState,
+    ops: "_SingleLaneOps | _BatchedLaneOps",
+    outputs: list,
+) -> None:
+    """Vectorized Israeli–Itai under an active fault plan (one lane).
+
+    The array-side fault seam (tentpole of the robustness tier): a
+    faithful mirror of one faulted :class:`Network` run of
+    :func:`israeli_itai_program`, byte-identical in outputs, rounds,
+    message accounting, and fault counters.  The structural deltas from
+    the fault-free array core:
+
+    * global truth is replaced by *knowledge*: a per-half-edge ``heard``
+      array (did this slot's owner receive its neighbor's ``_MATCHED``
+      announcement?) stands in for the shared ``mate == -1`` residual
+      mask — under loss an announcement can vanish, and the two
+      endpoints' views legitimately diverge;
+    * scheduled crash/link events apply at the top of every resume with
+      the engine's exact timing (a link failure always counts when its
+      round is reached; a crash of an already-returned node is a silent
+      no-op), and candidate/view sets are recomputed per round from the
+      surviving slots;
+    * per-delivery loss is the same stateless hash the generator seam
+      evaluates, batched with :meth:`FaultState.drop_mask` — attempted
+      sends always count toward the message totals, and drops (dead
+      letters included) land in ``messages_dropped``.
+
+    Writes per-node mates into ``outputs`` (``None`` for crashed
+    nodes) and reports everything else through ``ops``.
+    """
+    n = g.n
+    indptr, _, _ = g.adjacency_arrays()
+    snbr, seid = g._sorted_csr()  # per-vertex slots, neighbors ascending
+    owner = np.repeat(np.arange(n, dtype=np.int64), g.degrees())
+    # twin[t] = the reverse slot of t's edge (owner/neighbor swapped):
+    # a heard announcement over edge e marks e's other half-edge.
+    twin = np.empty(owner.size, dtype=np.int64)
+    t_order = np.argsort(seid, kind="stable")
+    twin[t_order[0::2]] = t_order[1::2]
+    twin[t_order[1::2]] = t_order[0::2]
+    slot_link = fs.link_fail_round[seid]   # round t's edge dies
+    crash_round = fs.crash_round
+    # Effective crash rounds: a crash landing on an already-returned
+    # node is a silent no-op in the reference engine — not counted AND
+    # not pruned from the survivors' views — so its round is
+    # neutralized to NEVER when the event fires.
+    eff_crash = crash_round.copy()
+    has_loss = fs.plan.loss > 0
+    heard = np.zeros(owner.size, dtype=bool)
+    mate = np.full(n, -1, dtype=np.int64)
+    running = np.ones(n, dtype=bool)  # neither returned nor crashed
+    link_counted = np.zeros(fs.m, dtype=bool)
+    crash_handled = np.zeros(n, dtype=bool)
+    link_fail_round = fs.link_fail_round
+    eight = np.int64(8)
+
+    def apply_events(r: int) -> None:
+        # Mirror of Network._apply_fault_events: every link event due
+        # by round r counts once; a crash counts (and halts the node)
+        # only if its program had not already returned.
+        due_l = (link_fail_round <= r) & ~link_counted
+        nl = int(due_l.sum())
+        if nl:
+            link_counted[due_l] = True
+        nc = 0
+        due_c = (crash_round <= r) & ~crash_handled
+        if due_c.any():
+            crash_handled[due_c] = True
+            victims = due_c & running
+            nc = int(victims.sum())
+            running[victims] = False
+            eff_crash[due_c & ~victims] = NEVER
+        if nl or nc:
+            ops.faults(crashed=nc, links=nl)
+
+    while True:
+        # -- Resume A (round r): returns, coins, proposals ------------
+        r = ops.rounds()
+        apply_events(r)
+        live = np.flatnonzero(running)
+        if live.size == 0:
+            break
+        ops.begin(live.size)
+        view = (slot_link > r) & (eff_crash[snbr] > r)
+        cand = view & ~heard
+        cand_deg = np.bincount(owner[cand], minlength=n)
+        ret = live[(mate[live] != -1) | (cand_deg[live] == 0)]
+        for v in ret.tolist():
+            outputs[v] = int(mate[v])
+        running[ret] = False
+        live = np.flatnonzero(running)
+        if live.size == 0:
+            break  # everyone returned without yielding: no round counted
+        coins = ops.draw(0, 2, live)
+        proposer_ids = live[coins == 1]
+        idx = ops.draw(0, cand_deg[proposer_ids], proposer_ids)
+        # choice(cand) replay: the idx-th candidate slot of the
+        # proposer's (neighbor-ascending) segment, via the global
+        # candidate-rank prefix sum.
+        cand_rank = np.cumsum(cand)
+        base = indptr[proposer_ids]
+        pre = cand_rank[base] - cand[base]
+        tslot = np.searchsorted(cand_rank, pre + idx + 1, side="left")
+        target = snbr[tslot]
+        ops.account(
+            np.full(proposer_ids.size, eight),
+            np.ones(proposer_ids.size, np.int64),
+        )
+        if has_loss:
+            pdrop = fs.drop_mask(proposer_ids, target, r)
+            nd = int(pdrop.sum())
+            if nd:
+                ops.faults(dropped=nd)
+        else:
+            pdrop = np.zeros(proposer_ids.size, dtype=bool)
+        ops.end()
+        # -- Resume B (round r+1): acceptors reply --------------------
+        rb = ops.rounds()
+        apply_events(rb)
+        live = np.flatnonzero(running)
+        if live.size == 0:
+            break
+        ops.begin(live.size)
+        proposer = np.zeros(n, dtype=bool)
+        proposer[proposer_ids] = True
+        # A delivered proposal is visible to its target iff it survived
+        # loss at the send round, its link and proposer outlived the
+        # read round (the acceptor's `src in cur` view filter), and the
+        # target is a still-running acceptor (dead letters to returned
+        # or crashed nodes were delivered but never read).
+        ok = (
+            ~pdrop
+            & (link_fail_round[seid[tslot]] > rb)
+            & (eff_crash[proposer_ids] > rb)
+            & running[target]
+            & ~proposer[target]
+        )
+        tgt_v, src_v = target[ok], proposer_ids[ok]
+        order = np.argsort(tgt_v, kind="stable")  # src ascending per tgt
+        s_tgt, s_src = tgt_v[order], src_v[order]
+        bounds = segment_bounds(s_tgt)
+        heads = bounds[:-1]
+        acceptors = s_tgt[heads]
+        aidx = ops.draw(0, np.diff(bounds), acceptors)
+        chosen = s_src[heads + aidx]
+        mate[acceptors] = chosen
+        ops.account(
+            np.full(acceptors.size, eight),
+            np.ones(acceptors.size, np.int64),
+        )
+        if has_loss:
+            adrop = fs.drop_mask(acceptors, chosen, rb)
+            nd = int(adrop.sum())
+            if nd:
+                ops.faults(dropped=nd)
+        else:
+            adrop = np.zeros(acceptors.size, dtype=bool)
+        ops.end()
+        # -- Resume C (round r+2): acceptance + announcements ---------
+        rc = ops.rounds()
+        apply_events(rc)
+        live = np.flatnonzero(running)
+        if live.size == 0:
+            break
+        ops.begin(live.size)
+        # A proposer is matched iff its target's ACCEPT survived loss
+        # and the proposer itself outlived round r+2 — deliberately no
+        # view filter (an acceptor crashing right after replying leaves
+        # a widowed survivor; the degradation oracle reports it).
+        winners = chosen[~adrop]
+        winners_acc = acceptors[~adrop]
+        wok = running[winners]
+        mate[winners[wok]] = winners_acc[wok]
+        bc = np.flatnonzero(running & (mate != -1))
+        view_c = (slot_link > rc) & (eff_crash[snbr] > rc)
+        bmask = np.zeros(n, dtype=bool)
+        bmask[bc] = True
+        bslots = np.flatnonzero(bmask[owner] & view_c)
+        ops.account(
+            np.full(bc.size, eight),
+            np.bincount(owner[bslots], minlength=n)[bc],
+        )
+        if has_loss:
+            mdrop = fs.drop_mask(owner[bslots], snbr[bslots], rc)
+            nd = int(mdrop.sum())
+            if nd:
+                ops.faults(dropped=nd)
+            heard[twin[bslots[~mdrop]]] = True
+        else:
+            heard[twin[bslots]] = True
+        ops.end()
 
 
 def israeli_itai_array(ctx: ArrayContext) -> list[int]:
@@ -106,6 +399,9 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
     g = ctx.graph
     size = ctx.n
     outputs: list[int | None] = [None] * size
+    if ctx.faults is not None:
+        _israeli_itai_faulty(g, ctx.faults, _SingleLaneOps(ctx), outputs)
+        return outputs
     mate = np.full(size, -1, dtype=np.int64)
     alive = np.ones(size, dtype=bool)
     degrees = g.degrees()
@@ -169,6 +465,10 @@ def israeli_itai_array(ctx: ArrayContext) -> list[int]:
     return outputs
 
 
+#: fault-seam marker: israeli_itai_array may run under an active plan.
+israeli_itai_array.supports_faults = True
+
+
 def israeli_itai_array_batched(ctx: BatchedArrayContext) -> list[list[int]]:
     """Seed-axis batched twin of :func:`israeli_itai_array`.
 
@@ -184,6 +484,16 @@ def israeli_itai_array_batched(ctx: BatchedArrayContext) -> list[list[int]]:
     g = ctx.graph
     num_seeds, size = ctx.num_seeds, ctx.n
     outputs: list[list[int | None]] = [[None] * size for _ in range(num_seeds)]
+    if ctx.faults is not None:
+        # Per-lane fault schedules share no cross-seed phase structure;
+        # run the single-lane fault core once per lane (see
+        # _BatchedLaneOps) — each lane stays byte-identical to its
+        # single-seed run.
+        for s, fstate in enumerate(ctx.faults):
+            _israeli_itai_faulty(
+                g, fstate, _BatchedLaneOps(ctx, s), outputs[s]
+            )
+        return outputs
     mate = np.full((num_seeds, size), -1, dtype=np.int64)
     alive = np.ones((num_seeds, size), dtype=bool)
     degrees = g.degrees()
@@ -254,11 +564,25 @@ def israeli_itai_array_batched(ctx: BatchedArrayContext) -> list[list[int]]:
     return outputs
 
 
+#: fault-seam marker: the batched port may run under an active plan.
+israeli_itai_array_batched.supports_faults = True
+
+
+def _assemble(g: Graph, res: RunResult, faults: FaultPlan | None) -> Matching:
+    """Matching from run outputs, tolerating fault-induced asymmetry."""
+    if faults is not None and faults.is_active:
+        from repro.matching.certify import degraded_matching
+
+        return degraded_matching(g, res.outputs)[0]
+    return matching_from_mates(g, res.outputs)
+
+
 def israeli_itai_matching_batched(
     g: Graph,
     seeds: "Sequence[int]",
     max_rounds: int = 100_000,
     backend: str = "array",
+    faults: FaultPlan | None = None,
 ) -> list[tuple[Matching, RunResult]]:
     """Run Israeli–Itai once per seed as a single batched execution.
 
@@ -266,7 +590,10 @@ def israeli_itai_matching_batched(
     :class:`~repro.distributed.backends.BatchedArrayBackend` run;
     ``"generator"`` falls back to one ``Network`` per seed.  Both
     return per-seed ``(Matching, RunResult)`` pairs identical to
-    ``[israeli_itai_matching(g, seed=s) for s in seeds]``.
+    ``[israeli_itai_matching(g, seed=s) for s in seeds]``.  Under an
+    active ``faults`` plan each lane's matching is assembled with the
+    degradation-tolerant reader (crashed nodes and widowed survivors
+    contribute no pairs).
     """
     results = run_program_batched(
         g,
@@ -275,18 +602,24 @@ def israeli_itai_matching_batched(
         batched_array_program=israeli_itai_array_batched,
         seeds=seeds,
         max_rounds=max_rounds,
+        faults=faults,
     )
-    return [(matching_from_mates(g, res.outputs), res) for res in results]
+    return [(_assemble(g, res, faults), res) for res in results]
 
 
 def israeli_itai_matching(
     g: Graph, seed: int = 0, max_rounds: int = 100_000,
     backend: str = "generator",
+    faults: FaultPlan | None = None,
 ) -> tuple[Matching, RunResult]:
     """Run Israeli–Itai on ``g``; returns (maximal matching, run metrics).
 
     ``backend`` selects the execution engine (``"generator"`` or
-    ``"array"``); both yield byte-identical results from the same seed.
+    ``"array"``); both yield byte-identical results from the same seed
+    — including under an active ``faults`` plan, where the returned
+    matching keeps only symmetric survivor pairs (use
+    :func:`repro.matching.certify.certify_degraded_matching` for the
+    full degradation report).
     """
     res = run_program(
         g,
@@ -295,8 +628,9 @@ def israeli_itai_matching(
         array_program=israeli_itai_array,
         seed=seed,
         max_rounds=max_rounds,
+        faults=faults,
     )
-    return matching_from_mates(g, res.outputs), res
+    return _assemble(g, res, faults), res
 
 
 def matching_from_mates(g: Graph, mates: dict[int, int]) -> Matching:

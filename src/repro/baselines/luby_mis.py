@@ -35,6 +35,7 @@ from repro.distributed.backends import (
     run_program,
     run_program_batched,
 )
+from repro.distributed.faults import FaultPlan
 from repro.distributed.network import Network, RunResult
 from repro.distributed.node import Node
 from repro.graphs.graph import Graph
@@ -62,7 +63,7 @@ def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
     of different nodes never drift: numbers / membership announcements /
     withdrawal announcements, each read in its own round's inbox.
     """
-    active = set(node.neighbors)
+    removed: set[int] = set()
     hi = _number_bound(n)
     first = True
     while True:
@@ -70,8 +71,13 @@ def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
             # Withdrawals sent at the end of the previous phase arrive now.
             for src, p in node.inbox:
                 if p == _OUT:
-                    active.discard(src)
+                    removed.add(src)
         first = False
+        # The residual view is recomputed every phase from the current
+        # ``node.neighbors`` (pruned by the engine on crashes/link
+        # failures under a fault plan) minus announced withdrawers —
+        # fault-free this equals the classic maintained active set.
+        active = [u for u in node.neighbors if u not in removed]
         # Isolated-in-the-residual-graph nodes join unconditionally.
         if not active:
             node.finish(True)
@@ -79,8 +85,9 @@ def luby_mis_program(node: Node, n: int) -> Generator[None, None, bool]:
         number = int(node.rng.integers(1, hi + 1))
         node.send_many(active, number)
         yield  # round 1: numbers in flight
+        aset = set(active)
         nbr_numbers = [
-            p for src, p in node.inbox if src in active and isinstance(p, int)
+            p for src, p in node.inbox if src in aset and isinstance(p, int)
         ]
         winner = bool(nbr_numbers) and number > max(nbr_numbers)
         if winner:
@@ -234,6 +241,7 @@ def luby_mis_batched(
     seeds: "Sequence[int]",
     max_rounds: int = 100_000,
     backend: str = "array",
+    faults: "FaultPlan | None" = None,
 ) -> list[tuple[set[int], RunResult]]:
     """Run Luby's MIS once per seed as a single batched execution.
 
@@ -241,7 +249,9 @@ def luby_mis_batched(
     :class:`~repro.distributed.backends.BatchedArrayBackend` run;
     ``"generator"`` falls back to one ``Network`` per seed.  Both
     return per-seed ``(MIS, RunResult)`` pairs identical to
-    ``[luby_mis(g, seed=s) for s in seeds]``.
+    ``[luby_mis(g, seed=s) for s in seeds]``.  Active ``faults`` plans
+    are generator-backend-only for Luby (the array ports declare no
+    fault seam and are rejected at construction).
     """
     results = run_program_batched(
         g,
@@ -251,6 +261,7 @@ def luby_mis_batched(
         params={"n": g.n},
         seeds=seeds,
         max_rounds=max_rounds,
+        faults=faults,
     )
     return [
         ({v for v, joined in res.outputs.items() if joined}, res)
@@ -261,11 +272,14 @@ def luby_mis_batched(
 def luby_mis(
     g: Graph, seed: int = 0, max_rounds: int = 100_000,
     backend: str = "generator",
+    faults: "FaultPlan | None" = None,
 ) -> tuple[set[int], RunResult]:
     """Run Luby's MIS on ``g``; returns (MIS vertex set, run metrics).
 
     ``backend`` selects the execution engine (``"generator"`` or
     ``"array"``); both yield byte-identical results from the same seed.
+    Active ``faults`` plans require the generator backend (Luby's array
+    ports declare no fault seam).
     """
     res = run_program(
         g,
@@ -275,6 +289,7 @@ def luby_mis(
         params={"n": g.n},
         seed=seed,
         max_rounds=max_rounds,
+        faults=faults,
     )
     return {v for v, joined in res.outputs.items() if joined}, res
 

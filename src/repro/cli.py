@@ -21,7 +21,14 @@ seed-identical either way; only the wall clock changes) — since ISSUE
 black box, and the k-opt reference all run vectorized under
 ``array``.  ``scenarios`` additionally accepts ``--seed-batch K`` to
 dispatch each cell's seeds in chunks of K — one process-level task per
-chunk instead of one call per seed.  ``switch`` accepts ``--traffic
+chunk instead of one call per seed.  ``baselines --faults SPEC`` (ISSUE 10)
+injects a deterministic fault plan — e.g. ``loss=0.05,crash=3`` — into
+the fault-adaptive Israeli–Itai baseline and prints the injected-fault
+counters plus the degradation oracle's verdict.  ``scenarios`` also
+takes the crash-safety knobs ``--max-retries``, ``--timeout``, and
+``--resume`` (retry only the failed/missing cells of an earlier
+``--out`` artifact); failed cells print a summary and exit nonzero
+instead of aborting the matrix.  ``switch`` accepts ``--traffic
 {bernoulli,diagonal,bursty,hotspot}`` and ``--engine
 {vectorized,scalar}`` — the vectorized long-horizon engine is the
 default and produces byte-identical statistics to the scalar loop —
@@ -111,7 +118,58 @@ def cmd_weighted(args) -> int:
     return 0
 
 
+def _cmd_baselines_faulted(args, g, plan) -> int:
+    """``baselines --faults``: Israeli–Itai under a fault plan.
+
+    The other baselines have no fault seam, so an active plan narrows
+    the table to the fault-adaptive algorithm and adds what matters
+    under faults: the injected-fault counters and the degradation
+    oracle's verdict (symmetric matching validity, widows, maximality
+    on the survivor subgraph).
+    """
+    from repro.matching.certify import certify_degraded_matching
+
+    print(f"G(n,p): {g.n} vertices, {g.m} edges "
+          f"({args.backend} backend; faults: {plan.describe()})")
+    try:
+        m, res = israeli_itai_matching(
+            g, seed=args.seed, backend=args.backend, faults=plan
+        )
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except RuntimeError as e:
+        # Loss can starve a one-shot announcement and stall the
+        # protocol; that is honest fault damage, not a crash.
+        print(f"faulted run stalled without terminating: {e}", file=sys.stderr)
+        return 1
+    opt = maximum_matching_size(g)
+    _print_result("Israeli-Itai (1/2-MCM, faulted)", len(m), opt, res)
+    print(f"  faults injected: {res.messages_dropped} dropped, "
+          f"{res.messages_delayed} delayed, {res.nodes_crashed} crashed, "
+          f"{res.links_failed} links failed")
+    fstate = plan.bind(g, args.seed)
+    failed = fstate.failed_links_by(res.rounds) if fstate is not None else []
+    rep = certify_degraded_matching(g, res.outputs, failed_links=failed)
+    print(f"  degradation oracle: {'OK' if rep.ok else 'VIOLATION'} "
+          f"({rep.matched_pairs} pairs, {rep.survivors} survivors, "
+          f"{rep.crashed} crashed, {len(rep.widows)} widow(s), "
+          f"{len(rep.violations)} violation(s))")
+    return 0 if rep.ok else 1
+
+
 def cmd_baselines(args) -> int:
+    if args.faults:
+        from repro.distributed.faults import FaultPlan
+
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ValueError as e:
+            print(f"error: bad --faults spec: {e}", file=sys.stderr)
+            return 1
+        if plan.is_active:
+            g = gnp_random(args.n, args.p, seed=args.seed)
+            return _cmd_baselines_faulted(args, g, plan)
     g = gnp_random(args.n, args.p, seed=args.seed)
     gw = assign_uniform_weights(g, seed=args.seed)
     opt = maximum_matching_size(g)
@@ -283,6 +341,14 @@ def cmd_scenarios(args) -> int:
         print(f"error: --seed-batch must be >= 1, got {args.seed_batch}",
               file=sys.stderr)
         return 1
+    if args.max_retries < 0:
+        print(f"error: --max-retries must be >= 0, got {args.max_retries}",
+              file=sys.stderr)
+        return 1
+    if args.resume and not args.out:
+        print("error: --resume needs --out (the artifact to resume from)",
+              file=sys.stderr)
+        return 1
     scenarios = args.family or None
     algos = args.algo or None
     for name in scenarios or ():
@@ -305,6 +371,9 @@ def cmd_scenarios(args) -> int:
             artifact=args.out,
             backend=args.backend,
             seed_batch=args.seed_batch,
+            max_retries=args.max_retries,
+            timeout=args.timeout,
+            resume=args.resume,
         )
     except OSError as e:
         if args.out is None:
@@ -317,6 +386,16 @@ def cmd_scenarios(args) -> int:
     print(scenario_table(results))
     if args.out:
         print(f"(records streamed to {args.out})")
+    failed = [(r.params, r.error) for r in results if r.error is not None]
+    if failed:
+        print(f"error: {len(failed)} cell(s) failed:", file=sys.stderr)
+        for params, msg in failed:
+            print(f"  {params.get('scenario', '?')}/{params.get('algo', '?')}: "
+                  f"{msg}", file=sys.stderr)
+        if args.out:
+            print(f"(re-run with --resume --out {args.out} to retry only "
+                  "the failed cells)", file=sys.stderr)
+        return 1
     bad = [
         r.params for r in results
         if any(rec.get("ok") == 0.0 for rec in r.records)
@@ -407,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("baselines", help="run all prior-work baselines")
     common(sp, n=80, pdef=0.06)
     backend_opt(sp)
+    sp.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject a deterministic fault plan, e.g. "
+             "'loss=0.05,crash=3,link=2' (keys: loss, delay, crash, "
+             "link, crash_window, link_window, seed); runs the "
+             "fault-adaptive Israeli-Itai baseline and prints fault "
+             "counters plus the degradation-oracle verdict",
+    )
     sp.set_defaults(fn=cmd_baselines)
 
     sp = sub.add_parser("switch", help="switch scheduler comparison")
@@ -450,6 +537,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed-batch", type=int, default=None, metavar="K",
         help="dispatch each cell's seeds in chunks of K (one task per "
              "chunk instead of one call per seed); records are identical",
+    )
+    sp.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-run a failed cell up to N times (exponential backoff) "
+             "before recording it as an error",
+    )
+    sp.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-cell result timeout in seconds (enforced with "
+             "--workers > 1; an overdue cell becomes an error record)",
+    )
+    sp.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already present (error-free) in the --out "
+             "artifact from an earlier run; only failed and missing "
+             "cells re-run",
     )
     backend_opt(sp)
     sp.set_defaults(fn=cmd_scenarios)

@@ -92,6 +92,7 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.distributed.batch_rng import LaneRngs
+from repro.distributed.faults import FaultPlan, FaultState, bind_many
 from repro.distributed.kernels import make_kernel
 from repro.distributed.metrics import RunResult
 from repro.distributed.models import LOCAL, CongestViolation, Model
@@ -214,6 +215,31 @@ def replay_acceptor_choices(
     return acceptors, chosen
 
 
+def _check_fault_support(program: Callable, plan: FaultPlan) -> None:
+    """Reject fault plans an array program cannot honor.
+
+    Array programs own their round loops, so the delivery seam lives
+    inside them; only ports that implement it (marked with a
+    ``supports_faults = True`` attribute) may run under an active
+    plan.  Bounded message delay has no array-side seam at all — a
+    delayed message crosses phase boundaries, which a vectorized
+    phase-structured program cannot represent — so it is
+    generator-engine-only.
+    """
+    if plan.delay > 0:
+        raise ValueError(
+            "message-delay faults are generator-backend-only; "
+            "run this plan with backend='generator'"
+        )
+    if not getattr(program, "supports_faults", False):
+        name = getattr(program, "__name__", repr(program))
+        raise ValueError(
+            f"array program {name} has no fault seam "
+            "(supports_faults is not set); use backend='generator' "
+            "for this fault plan"
+        )
+
+
 class ArrayContext:
     """Execution context handed to an array program.
 
@@ -230,6 +256,7 @@ class ArrayContext:
         "model",
         "result",
         "max_rounds",
+        "faults",
         "_limit",
         "_seed",
         "_rngs",
@@ -247,6 +274,7 @@ class ArrayContext:
         result: RunResult,
         max_rounds: int,
         kernel: str | None = None,
+        faults: "FaultState | None" = None,
     ) -> None:
         self.graph = graph
         self.n = graph.n
@@ -254,6 +282,9 @@ class ArrayContext:
         self.model = model
         self.result = result
         self.max_rounds = max_rounds
+        #: bound fault state, or None on fault-free runs (programs that
+        #: declare ``supports_faults`` branch on this).
+        self.faults = faults
         self._limit = limit
         self._seed = seed
         self._rngs: list[np.random.Generator] | None = None
@@ -336,6 +367,20 @@ class ArrayContext:
         """End of one resume: count a round iff some node yielded."""
         if yielded:
             self.result.rounds += 1
+
+    def add_fault_counts(
+        self,
+        dropped: int = 0,
+        delayed: int = 0,
+        crashed: int = 0,
+        links: int = 0,
+    ) -> None:
+        """Accumulate fault counters (mirrors the generator seam)."""
+        res = self.result
+        res.messages_dropped += dropped
+        res.messages_delayed += delayed
+        res.nodes_crashed += crashed
+        res.links_failed += links
 
     def idle_steps(self, live: int, count: int) -> None:
         """Fast-forward ``count`` resumes in which every node yields idle.
@@ -423,6 +468,12 @@ class ArrayBackend:
         uses the process default (``"reduceat"`` unless overridden via
         ``set_default_kernel``); every registered kernel is
         byte-identical, so this only changes the wall clock.
+    faults:
+        Optional :class:`~repro.distributed.faults.FaultPlan`.  Only
+        programs that declare ``supports_faults = True`` may run under
+        an active plan (the program owns its round loop, so the fault
+        seam is inside it — see the Israeli–Itai fault core); bounded
+        message *delay* is generator-engine-only and rejected here.
     """
 
     def __init__(
@@ -433,6 +484,7 @@ class ArrayBackend:
         seed: int = 0,
         model: Model = LOCAL,
         kernel: str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -440,8 +492,12 @@ class ArrayBackend:
         self._program = program
         self._params = params or {}
         self.result = RunResult()
+        fstate = faults.bind(graph, seed) if faults is not None else None
+        if fstate is not None:
+            _check_fault_support(program, faults)
         self._ctx = ArrayContext(
-            graph, seed, model, self._limit, self.result, 0, kernel=kernel
+            graph, seed, model, self._limit, self.result, 0, kernel=kernel,
+            faults=fstate,
         )
         self._ran = False
 
@@ -522,6 +578,7 @@ class BatchedArrayContext:
         "indices",
         "model",
         "max_rounds",
+        "faults",
         "_limit",
         "_seeds",
         "_lanes",
@@ -529,6 +586,7 @@ class BatchedArrayContext:
         "_messages",
         "_bits",
         "_peak",
+        "_fault_counts",
         "_kernel_name",
         "_kernel",
     )
@@ -541,6 +599,7 @@ class BatchedArrayContext:
         limit: int | None,
         max_rounds: int,
         kernel: str | None = None,
+        faults: "list[FaultState | None] | None" = None,
     ) -> None:
         self.graph = graph
         self.n = graph.n
@@ -548,6 +607,8 @@ class BatchedArrayContext:
         self.indptr, self.indices, _ = graph.adjacency_arrays()
         self.model = model
         self.max_rounds = max_rounds
+        #: per-lane bound fault states (None on fault-free runs).
+        self.faults = faults
         self._limit = limit
         self._seeds = list(seeds)
         self._lanes: LaneRngs | None = None
@@ -557,6 +618,8 @@ class BatchedArrayContext:
         self._messages = np.zeros(self.num_seeds, dtype=np.int64)
         self._bits = np.zeros(self.num_seeds, dtype=np.int64)
         self._peak = np.zeros(self.num_seeds, dtype=np.int64)
+        # rows: dropped / delayed / crashed / links, one column per seed.
+        self._fault_counts = np.zeros((4, self.num_seeds), dtype=np.int64)
 
     @property
     def lanes(self) -> LaneRngs:
@@ -631,6 +694,21 @@ class BatchedArrayContext:
         """End of one resume: seeds where some node yielded gain a round."""
         self._rounds += np.asarray(yielded, dtype=bool)
 
+    def add_fault_counts(
+        self,
+        seed_index: int,
+        dropped: int = 0,
+        delayed: int = 0,
+        crashed: int = 0,
+        links: int = 0,
+    ) -> None:
+        """Accumulate one lane's fault counters (generator-seam mirror)."""
+        col = self._fault_counts[:, seed_index]
+        col[0] += dropped
+        col[1] += delayed
+        col[2] += crashed
+        col[3] += links
+
     def idle_steps(self, live: np.ndarray, count: int) -> None:
         """Fast-forward ``count`` fully lockstep idle resumes.
 
@@ -668,6 +746,10 @@ class BatchedArrayContext:
                 total_messages=int(self._messages[s]),
                 total_bits=int(self._bits[s]),
                 max_message_bits=int(self._peak[s]),
+                messages_dropped=int(self._fault_counts[0, s]),
+                messages_delayed=int(self._fault_counts[1, s]),
+                nodes_crashed=int(self._fault_counts[2, s]),
+                links_failed=int(self._fault_counts[3, s]),
             )
             for v in range(self.n):
                 res.outputs[v] = None if outputs is None else outputs[s][v]
@@ -746,6 +828,7 @@ class BatchedArrayBackend:
         seeds: Sequence[int] = (0,),
         model: Model = LOCAL,
         kernel: str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -754,8 +837,14 @@ class BatchedArrayBackend:
         self._program = program
         self._params = params or {}
         self.results: list[RunResult] | None = None
+        fstates = (
+            bind_many(faults, graph, self.seeds) if faults is not None else None
+        )
+        if fstates is not None:
+            _check_fault_support(program, faults)
         self._ctx = BatchedArrayContext(
-            graph, self.seeds, model, self._limit, 0, kernel=kernel
+            graph, self.seeds, model, self._limit, 0, kernel=kernel,
+            faults=fstates,
         )
 
     def prepare(self) -> "BatchedArrayBackend":
@@ -782,6 +871,7 @@ def run_program_batched(
     seeds: Sequence[int],
     model: Model = LOCAL,
     max_rounds: int = 1_000_000,
+    faults: FaultPlan | None = None,
 ) -> list[RunResult]:
     """Run one algorithm over a batch of seeds on the chosen backend.
 
@@ -789,17 +879,20 @@ def run_program_batched(
     executes the whole batch as one :class:`BatchedArrayBackend` run;
     ``"generator"`` runs one :class:`Network` per seed (the reference
     semantics batching must reproduce).  Either way the return value is
-    one :class:`RunResult` per seed, in ``seeds`` order.
+    one :class:`RunResult` per seed, in ``seeds`` order.  An active
+    ``faults`` plan is bound per lane seed, so every lane reproduces
+    its single-seed faulted run byte for byte.
     """
     cls = resolve_backend(backend)
     if cls is GeneratorBackend:
         return [
             Network(graph, generator_program, params=params, seed=int(s),
-                    model=model).run(max_rounds=max_rounds)
+                    model=model, faults=faults).run(max_rounds=max_rounds)
             for s in seeds
         ]
     net = BatchedArrayBackend(
-        graph, batched_array_program, params=params, seeds=seeds, model=model
+        graph, batched_array_program, params=params, seeds=seeds, model=model,
+        faults=faults,
     )
     return net.run(max_rounds=max_rounds)
 
@@ -831,13 +924,18 @@ def run_program(
     seed: int = 0,
     model: Model = LOCAL,
     max_rounds: int = 1_000_000,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run an algorithm's program pair on the chosen backend.
 
     The layer-3 routing helper: an algorithm hands over both of its
     forms and the caller's ``backend`` string picks which executes.
+    An active ``faults`` plan is injected at the chosen backend's
+    delivery seam; both backends reproduce the same faulted run byte
+    for byte (array programs must declare ``supports_faults``).
     """
     cls = resolve_backend(backend)
     program = generator_program if cls is GeneratorBackend else array_program
-    net = cls(graph, program, params=params, seed=seed, model=model)
+    net = cls(graph, program, params=params, seed=seed, model=model,
+              faults=faults)
     return net.run(max_rounds=max_rounds)

@@ -92,6 +92,14 @@ class RunResult:
     #: extra rounds charged analytically (e.g. Lemma 3.3's O(ℓ) routing
     #: per conflict-graph MIS round in Algorithm 1's emulation).
     charged_rounds: int = 0
+    #: fault accounting (repro.distributed.faults) — zero on fault-free
+    #: runs.  ``total_messages``/``total_bits`` count *attempted* sends
+    #: (transmission cost is paid whether or not delivery succeeds);
+    #: dropped/delayed deliveries are tallied here on top.
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    nodes_crashed: int = 0
+    links_failed: int = 0
 
     @property
     def total_rounds(self) -> int:
@@ -106,6 +114,10 @@ class RunResult:
             total_bits=self.total_bits + other.total_bits,
             max_message_bits=max(self.max_message_bits, other.max_message_bits),
             charged_rounds=self.charged_rounds + other.charged_rounds,
+            messages_dropped=self.messages_dropped + other.messages_dropped,
+            messages_delayed=self.messages_delayed + other.messages_delayed,
+            nodes_crashed=self.nodes_crashed + other.nodes_crashed,
+            links_failed=self.links_failed + other.links_failed,
         )
         merged.outputs = {**self.outputs, **other.outputs}
         return merged

@@ -45,6 +45,7 @@ from typing import Any, Callable, Generator
 
 import numpy as np
 
+from repro.distributed.faults import NEVER, FaultPlan
 from repro.distributed.message import Sized, bit_size
 from repro.distributed.metrics import RunResult
 from repro.distributed.models import LOCAL, CongestViolation, Model
@@ -75,6 +76,15 @@ class Network:
     model:
         ``LOCAL`` (default) or ``CONGEST``; CONGEST enforces the
         per-message bit bound.
+    faults:
+        Optional :class:`~repro.distributed.faults.FaultPlan`.  When
+        active, scheduled crash/link events are applied at the *start*
+        of their round (pruning the survivors' ``node.neighbors`` views
+        — perfect failure detection), and per-delivery loss/delay is
+        applied at the delivery seam after sends are validated and
+        accounted: attempted sends always count toward
+        ``total_messages``/``total_bits``, with drops and delays
+        tallied in the :class:`RunResult` fault counters.
     """
 
     def __init__(
@@ -84,6 +94,7 @@ class Network:
         params: dict[str, Any] | None = None,
         seed: int = 0,
         model: Model = LOCAL,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
@@ -108,6 +119,191 @@ class Network:
         # cleared before the next one (persists across run() re-entries
         # so single-round stepping, e.g. run_traced, stays equivalent).
         self._inboxed: list[int] = []
+        # Fault runtime state (None-guarded so the fault-free hot path
+        # stays branch-free beyond one check per round).
+        self._fstate = faults.bind(graph, seed) if faults is not None else None
+        if self._fstate is not None:
+            fs = self._fstate
+            # Mutable neighbor views (the survivors' knowledge); pruned
+            # as crashes/link failures trigger.
+            self._views: list[set[int]] = [
+                set(ns) for ns in graph.neighbor_sets()
+            ]
+            self._crashed: set[int] = set()
+            # Delayed deliveries keyed by arrival round.
+            self._future: dict[int, dict[int, list[tuple[int, Any]]]] = {}
+            cv = np.flatnonzero(fs.crash_round < NEVER)
+            self._crash_events = sorted(
+                zip(fs.crash_round[cv].tolist(), cv.tolist())
+            )
+            lo, hi = graph.endpoints_array()
+            le = np.flatnonzero(fs.link_fail_round < NEVER)
+            self._link_events = sorted(
+                zip(fs.link_fail_round[le].tolist(), le.tolist(),
+                    lo[le].tolist(), hi[le].tolist())
+            )
+            self._crash_ptr = 0
+            self._link_ptr = 0
+
+    def _apply_fault_events(self, res: RunResult) -> bool:
+        """Trigger scheduled crash/link events due at the current round.
+
+        Called at the top of every round, *before* the budget check and
+        the resumes: a node crashing at round r never executes round r,
+        and survivors see pruned ``node.neighbors`` immediately (the
+        perfect-failure-detector contract the fault-adaptive programs
+        rely on).  A crash scheduled for a node whose program already
+        returned is a silent no-op (not counted) — its output stands.
+        Returns whether any node crashed (the active list must then be
+        refiltered).
+        """
+        nodes, gens, views = self.nodes, self._gens, self._views
+        r = res.rounds
+        le = self._link_events
+        while self._link_ptr < len(le) and le[self._link_ptr][0] <= r:
+            _, _, u, v = le[self._link_ptr]
+            self._link_ptr += 1
+            res.links_failed += 1
+            if v in views[u]:
+                views[u].discard(v)
+                views[v].discard(u)
+                nodes[u].neighbors = tuple(
+                    x for x in nodes[u].neighbors if x != v
+                )
+                nodes[v].neighbors = tuple(
+                    x for x in nodes[v].neighbors if x != u
+                )
+        ce = self._crash_events
+        crashed_now = False
+        while self._crash_ptr < len(ce) and ce[self._crash_ptr][0] <= r:
+            _, v = ce[self._crash_ptr]
+            self._crash_ptr += 1
+            if gens[v] is None:
+                continue
+            gens[v] = None
+            res.nodes_crashed += 1
+            self._crashed.add(v)
+            for u in views[v]:
+                views[u].discard(v)
+                nodes[u].neighbors = tuple(
+                    x for x in nodes[u].neighbors if x != v
+                )
+            views[v] = set()
+            crashed_now = True
+        return crashed_now
+
+    def _deliver_faulty(
+        self,
+        pending: dict[int, list[tuple[int, Any]]],
+        res: RunResult,
+    ) -> dict[int, list[tuple[int, Any]]]:
+        """Apply loss/delay/dead-endpoint filtering at the delivery seam.
+
+        Runs after the sender scan validated and accounted every send
+        (transmission cost is paid regardless of delivery).  A message
+        is dropped when its recipient has crashed, when the link died
+        before the send, or on a loss-hash hit; surviving messages may
+        be deferred ``delay_of`` rounds.  Delayed messages are
+        re-checked against crashes/link failures at *arrival* (the link
+        can die while the message is in flight); stale arrivals are
+        delivered ahead of same-round traffic, in send order.
+        """
+        fs = self._fstate
+        r = res.rounds
+        crashed = self._crashed
+        views = self._views
+        has_loss = fs.plan.loss > 0
+        has_delay = fs.plan.delay > 0
+        # Fast path: no crash/link event has fired yet (views are still
+        # the full neighbor sets, so the sender validation already
+        # guarantees src is visible) and no delay machinery is in play.
+        # The seam is then pure loss filtering: one vectorized hash over
+        # the round's deliveries, and the pending dict passes through
+        # untouched unless something actually drops.
+        if (
+            self._crash_ptr == 0
+            and self._link_ptr == 0
+            and not has_delay
+            and not self._future
+        ):
+            if not has_loss:
+                return pending
+            srcs_l: list[int] = []
+            dsts_l: list[int] = []
+            for dst, msgs in pending.items():
+                srcs_l.extend([m[0] for m in msgs])
+                dsts_l.extend([dst] * len(msgs))
+            if not srcs_l:
+                return pending
+            lost_m = fs.drop_mask(
+                np.array(srcs_l, dtype=np.int64),
+                np.array(dsts_l, dtype=np.int64),
+                r,
+            )
+            if not lost_m.any():
+                return pending
+            res.messages_dropped += int(lost_m.sum())
+            kept: dict[int, list[tuple[int, Any]]] = {}
+            i = 0
+            for dst, msgs in pending.items():
+                keep = [m for j, m in enumerate(msgs) if not lost_m[i + j]]
+                i += len(msgs)
+                if keep:
+                    kept[dst] = keep
+            return kept
+        # General path: crash/view filtering first, flattening the
+        # survivors so the loss/delay hashes still run as one vectorized
+        # batch per round (a scalar hash per message dominated the seam
+        # cost otherwise).
+        flat: list[tuple[int, tuple[int, Any]]] = []
+        for dst, msgs in pending.items():
+            if dst in crashed:
+                res.messages_dropped += len(msgs)
+                continue
+            view = views[dst]
+            for msg in msgs:
+                if msg[0] in view:
+                    flat.append((dst, msg))
+                else:
+                    res.messages_dropped += 1
+        out: dict[int, list[tuple[int, Any]]] = {}
+        if flat:
+            if has_loss or has_delay:
+                dsts = np.fromiter(
+                    (d for d, _ in flat), dtype=np.int64, count=len(flat)
+                )
+                srcs = np.fromiter(
+                    (m[0] for _, m in flat), dtype=np.int64, count=len(flat)
+                )
+            lost = fs.drop_mask(srcs, dsts, r) if has_loss else None
+            late = fs.delay_mask(srcs, dsts, r) if has_delay else None
+            for i, (dst, msg) in enumerate(flat):
+                if lost is not None and lost[i]:
+                    res.messages_dropped += 1
+                    continue
+                if late is not None and late[i]:
+                    res.messages_delayed += 1
+                    self._future.setdefault(
+                        r + 1 + int(late[i]), {}
+                    ).setdefault(dst, []).append(msg)
+                    continue
+                out.setdefault(dst, []).append(msg)
+        due = self._future.pop(r + 1, None)
+        if due:
+            for dst, msgs in due.items():
+                if dst in crashed:
+                    res.messages_dropped += len(msgs)
+                    continue
+                view = views[dst]
+                late: list[tuple[int, Any]] = []
+                for msg in msgs:
+                    if msg[0] in view:
+                        late.append(msg)
+                    else:
+                        res.messages_dropped += 1
+                if late:
+                    out[dst] = late + out.get(dst, [])
+        return out
 
     def run(self, max_rounds: int = 1_000_000) -> RunResult:
         """Advance rounds until all programs return (or raise on budget).
@@ -131,7 +327,12 @@ class Network:
         # below relies on this order: delivery into an inbox follows
         # sender id because senders are visited in id order).
         active = [v for v in range(self.graph.n) if gens[v] is not None]
+        fstate = self._fstate
         while active:
+            if fstate is not None and self._apply_fault_events(res):
+                active = [v for v in active if gens[v] is not None]
+                if not active:
+                    break
             if res.rounds >= max_rounds:
                 raise RuntimeError(
                     f"{len(active)} node(s) still running after {max_rounds} "
@@ -223,6 +424,8 @@ class Network:
                 peak = int(bits_arr.max())
                 if peak > res.max_message_bits:
                     res.max_message_bits = peak
+            if fstate is not None:
+                pending = self._deliver_faulty(pending, res)
             # 3. Swap inboxes: fresh messages in, stale inboxes cleared.
             for v in self._inboxed:
                 if v not in pending:

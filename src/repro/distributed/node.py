@@ -31,7 +31,11 @@ class Node:
     neighbors:
         Neighbor ids in port order, as an immutable tuple (a view of
         the graph's cached adjacency — never mutate node state through
-        it).
+        it).  Under an active fault plan the *network* rebuilds this
+        tuple when an incident link fails or a neighbor crashes
+        (perfect failure detection; relative port order is preserved),
+        so fault-adaptive programs should re-read it each phase rather
+        than capture it once.
     rng:
         Node-private deterministic RNG (spawned from the network seed),
         so runs are reproducible regardless of scheduling order.

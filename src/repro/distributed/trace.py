@@ -25,7 +25,9 @@ class RoundRecord:
     ``messages``/``bits`` are per-round deltas; ``max_bits`` is the
     *cumulative* peak message size up to and including this round (a
     peak is a max, not a sum, so the per-round value cannot be
-    recovered by diffing the run counters).
+    recovered by diffing the run counters).  ``dropped``/``delayed``
+    are per-round fault-seam deltas (always 0 on fault-free runs, so
+    pre-fault trace artifacts round-trip unchanged).
     """
 
     round: int
@@ -33,6 +35,8 @@ class RoundRecord:
     bits: int
     max_bits: int
     live_nodes: int
+    dropped: int = 0
+    delayed: int = 0
 
 
 @dataclass
@@ -91,7 +95,7 @@ def run_traced(net: Network, max_rounds: int = 1_000_000) -> tuple[RunResult, Tr
     (an array program owns its whole round loop).
     """
     tracer = Tracer()
-    prev_msgs = prev_bits = 0
+    prev_msgs = prev_bits = prev_drop = prev_delay = 0
     while True:
         live_before = sum(1 for gen in net._gens if gen is not None)
         if live_before == 0:
@@ -120,9 +124,12 @@ def run_traced(net: Network, max_rounds: int = 1_000_000) -> tuple[RunResult, Tr
                     # peak is just the current one.
                     max_bits=res.max_message_bits,
                     live_nodes=live_before,
+                    dropped=res.messages_dropped - prev_drop,
+                    delayed=res.messages_delayed - prev_delay,
                 )
             )
         prev_msgs, prev_bits = res.total_messages, res.total_bits
+        prev_drop, prev_delay = res.messages_dropped, res.messages_delayed
         if finished:
             break
     for node in net.nodes:

@@ -18,6 +18,7 @@ users who want to trust reported ratios.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -127,3 +128,140 @@ def certified_ratio_lower_bound(g: Graph, m: Matching, max_len: int) -> float:
         k = (ell + 1) // 2
         best = 1.0 - 1.0 / (k + 1)
     return best
+
+
+# ----------------------------------------------------------------------
+# Degradation oracle (robustness tier)
+# ----------------------------------------------------------------------
+#
+# Under a fault plan a distributed matching run no longer terminates
+# with a clean maximal matching: crashed nodes report nothing, and a
+# lost ACCEPT or a crash between accept and announce leaves a *widow* —
+# a survivor whose claimed mate does not claim it back.  The oracle
+# below grades exactly what honest degradation permits: the symmetric
+# survivor pairs must still form a valid matching, and it must be
+# maximal on the survivor subgraph once widows (who rightly believe
+# they are matched, and so stop proposing) are excused.
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Verdict of :func:`certify_degraded_matching`.
+
+    ``widows`` are ``(vertex, claimed_mate)`` pairs whose claim is not
+    reciprocated — expected fault damage, reported but not a violation.
+    ``violations`` are survivor edges with both endpoints free and
+    neither endpoint a widow — impossible for a correct fault-adaptive
+    protocol, so any entry is a real bug.
+    """
+
+    matched_pairs: int
+    survivors: int
+    crashed: int
+    widows: tuple[tuple[int, int], ...]
+    violations: tuple[tuple[int, int], ...]
+    valid: bool
+    maximal_on_survivors: bool
+
+    @property
+    def ok(self) -> bool:
+        """Valid matching, maximal on survivors modulo widows."""
+        return self.valid and self.maximal_on_survivors
+
+
+def degraded_matching(
+    g: Graph, outputs: dict[int, int | None]
+) -> tuple[Matching, list[tuple[int, int]]]:
+    """Assemble the symmetric-pair matching from faulted run outputs.
+
+    The fault-tolerant sibling of ``matching_from_mates``: a pair
+    (u, v) joins the matching only when *both* endpoints claim each
+    other; one-sided claims are returned as widows instead of raising.
+    ``None`` outputs (crashed nodes) claim nothing.
+    """
+    m = Matching(g)
+    widows: list[tuple[int, int]] = []
+    for v, mate in outputs.items():
+        if mate is None or mate == -1:
+            continue
+        if outputs.get(mate) == v:
+            if mate > v:
+                m.add(v, mate)
+        else:
+            widows.append((v, mate))
+    return m, widows
+
+
+def survivor_subgraph(
+    g: Graph,
+    outputs: dict[int, int | None],
+    failed_links: "np.ndarray | list[int]" = (),
+) -> Graph:
+    """The subgraph a faulted run leaves behind.
+
+    Keeps every edge whose link survived and whose endpoints both
+    completed the run (an output of ``None`` marks a crashed node).
+    Vertex set unchanged; crashed vertices become isolated.
+    """
+    lo, hi = g.endpoints_array()
+    alive = np.zeros(g.n, dtype=bool)
+    for v, out in outputs.items():
+        alive[v] = out is not None
+    keep = alive[lo] & alive[hi]
+    if len(failed_links):
+        keep[np.asarray(failed_links, dtype=np.int64)] = False
+    return g.subgraph(np.flatnonzero(keep))
+
+
+def certify_degraded_matching(
+    g: Graph,
+    outputs: dict[int, int | None],
+    failed_links: "np.ndarray | list[int]" = (),
+) -> DegradationReport:
+    """Grade a faulted matching run against honest-degradation rules.
+
+    ``valid``: every symmetric pair is a real edge with distinct live
+    endpoints (one-sided claims are widows, not violations).
+    ``maximal_on_survivors``: no surviving edge joins two free
+    non-widow survivors — free nodes quit only when every live
+    neighbor was announced matched, so such an edge would prove the
+    protocol (not the faults) wrong.  ``failed_links`` are the edge
+    ids whose links died during the run
+    (:meth:`repro.distributed.faults.FaultState.failed_links_by` of
+    the final round).
+    """
+    try:
+        m, widows = degraded_matching(g, outputs)
+        valid = True
+        matched = len(m)
+    except (ValueError, IndexError):
+        # a claimed pair that is not an edge / double-books a vertex
+        m, widows, valid, matched = None, [], False, 0
+    alive = np.zeros(g.n, dtype=bool)
+    for v, out in outputs.items():
+        alive[v] = out is not None
+    widowed = np.zeros(g.n, dtype=bool)
+    for v, _ in widows:
+        widowed[v] = True
+    violations: list[tuple[int, int]] = []
+    if m is not None:
+        lo, hi = g.endpoints_array()
+        keep = alive[lo] & alive[hi]
+        if len(failed_links):
+            keep[np.asarray(failed_links, dtype=np.int64)] = False
+        free = np.array(
+            [m.is_free(v) and not widowed[v] for v in range(g.n)], dtype=bool
+        )
+        bad = keep & free[lo] & free[hi]
+        violations = [
+            (int(u), int(w)) for u, w in zip(lo[bad], hi[bad])
+        ]
+    return DegradationReport(
+        matched_pairs=matched,
+        survivors=int(alive.sum()),
+        crashed=int(g.n - alive.sum()),
+        widows=tuple(widows),
+        violations=tuple(violations),
+        valid=valid,
+        maximal_on_survivors=not violations,
+    )

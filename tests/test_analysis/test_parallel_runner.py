@@ -108,7 +108,8 @@ class TestArtifacts:
         )
         loaded = load_artifact(path)
         assert _dump(loaded) == _dump(res)
-        assert len(path.read_text().splitlines()) == len(POINTS)
+        # One row per cell plus the trailing _summary row.
+        assert len(path.read_text().splitlines()) == len(POINTS) + 1
 
     def test_artifact_identical_for_any_worker_count(self, tmp_path, parallel_workers):
         p1 = tmp_path / "w1.jsonl"

@@ -128,7 +128,9 @@ class TestCommands:
             "scenarios", "--size", "12", "--repeats", "1",
             "--family", "gnp", "--algo", "general_mcm", "--out", str(path),
         ]) == 0
-        assert path.exists() and path.read_text().count("\n") == 1
+        # One row per cell plus the trailing _summary sealing row.
+        assert path.exists() and path.read_text().count("\n") == 2
+        assert '"_summary"' in path.read_text().splitlines()[-1]
         assert str(path) in capsys.readouterr().out
 
     def test_scenarios_unknown_family(self, capsys):

@@ -5,7 +5,7 @@ under ``benchmarks/results/s*.json`` with its own schema, but every
 cell carries a ``speedup`` (plus, where measured, a round-loop
 ``loop_speedup`` / ``end_to_end_speedup``).  This tool normalizes them
 into one per-subsystem × per-workload summary — the performance
-trajectory across PRs — prints it, and writes it to ``BENCH_S9.json``
+trajectory across PRs — prints it, and writes it to ``BENCH_S10.json``
 at the repo root (regenerate after committing a new ``s*.json``)::
 
     PYTHONPATH=src python tools/bench_report.py
@@ -40,6 +40,10 @@ COMPARISONS = {
     "s9_lca": "one full global random-greedy run vs LCA-serving the "
               "cell's point-query batch (consistency asserted; "
               "crossover_queries records the honest break-even)",
+    "s10_faults": "fault-free run vs the same run through the fault "
+                  "seam (noop plan = the <1.05x overhead gate; active "
+                  "epsilon-loss plan = the real filtering cost; "
+                  "identity asserted before timing)",
 }
 
 
@@ -91,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--results-dir", type=pathlib.Path,
                     default=repo_root / "benchmarks" / "results")
     ap.add_argument("--out", type=pathlib.Path,
-                    default=repo_root / "BENCH_S9.json")
+                    default=repo_root / "BENCH_S10.json")
     args = ap.parse_args(argv)
     if not args.results_dir.is_dir():
         print(f"error: no results directory at {args.results_dir}",
